@@ -1,0 +1,43 @@
+"""Figure 4: distribution of segment count K and segment length in the
+synthetic suite (20 shapes; K in [2, 10]; lengths in [6, 84])."""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.datasets.synthetic import SUITE_SIZE, synthetic_suite
+from support import emit, is_paper_scale
+
+
+def bench_fig04_synthetic_distribution(benchmark):
+    n_datasets = SUITE_SIZE if is_paper_scale() else 8
+
+    def generate():
+        return synthetic_suite(n_datasets=n_datasets, snr_levels=(35,))
+
+    suite = benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    k_counts = Counter(data.k for data in suite)
+    lengths = [
+        int(b - a)
+        for data in suite
+        for a, b in zip(data.boundaries, data.boundaries[1:])
+    ]
+    lines = ["Segment number K distribution (Figure 4, left):"]
+    for k in sorted(k_counts):
+        lines.append(f"  K={k:<2d}  {'#' * k_counts[k]} ({k_counts[k]})")
+    lines.append("Segment length distribution (Figure 4, right):")
+    edges = np.arange(0, 101, 10)
+    histogram, _ = np.histogram(lengths, bins=edges)
+    for lo, hi, count in zip(edges, edges[1:], histogram):
+        lines.append(f"  [{lo:>2d},{hi:>3d})  {'#' * int(count)} ({count})")
+    lines.append(
+        f"K range: [{min(k_counts)}, {max(k_counts)}]  "
+        f"length range: [{min(lengths)}, {max(lengths)}]"
+    )
+    text = "\n".join(lines)
+    emit("fig04_synthetic_distribution", text)
+    benchmark.extra_info["k_range"] = [min(k_counts), max(k_counts)]
+    benchmark.extra_info["length_range"] = [min(lengths), max(lengths)]
+    assert min(k_counts) >= 2 and max(k_counts) <= 10
+    assert min(lengths) >= 6

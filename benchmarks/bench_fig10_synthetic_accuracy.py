@@ -1,0 +1,78 @@
+"""Figure 10: distance percent (%) of TSExplain vs the three baselines
+across SNR levels, with the oracle K.
+
+Paper result: TSExplain is best at every SNR; Bottom-Up is the closest
+baseline; for SNR > 35, TSExplain's distance percent approaches 0.
+"""
+
+from collections import defaultdict
+
+from repro.baselines import BottomUpSegmenter, FlussSegmenter, NNSegmenter
+from repro.core.config import ExplainConfig
+from repro.core.engine import TSExplain
+from repro.datasets.synthetic import SNR_LEVELS, synthetic_suite
+from repro.evaluation.editdist import distance_percent
+from support import emit, is_paper_scale
+
+METHODS = ("TSExplain", "Bottom-Up", "FLUSS", "NNSegment")
+
+
+def bench_fig10_synthetic_accuracy(benchmark):
+    if is_paper_scale():
+        n_datasets, snr_levels = 20, SNR_LEVELS
+    else:
+        n_datasets, snr_levels = 4, (20, 30, 40, 50)
+
+    segmenters = {
+        "Bottom-Up": BottomUpSegmenter(),
+        "FLUSS": FlussSegmenter(),
+        "NNSegment": NNSegmenter(),
+    }
+
+    def run():
+        suite = synthetic_suite(n_datasets=n_datasets, snr_levels=snr_levels)
+        sums: dict[tuple[float, str], float] = defaultdict(float)
+        counts: dict[float, int] = defaultdict(int)
+        for data in suite:
+            ds = data.dataset
+            n = len(ds.series())
+            engine = TSExplain(
+                ds.relation,
+                measure=ds.measure,
+                explain_by=ds.explain_by,
+                config=ExplainConfig.vanilla(k=data.k),
+            )
+            result = engine.explain()
+            sums[(data.snr_db, "TSExplain")] += distance_percent(
+                result.boundaries, data.boundaries, n
+            )
+            values = ds.series().values
+            for name, segmenter in segmenters.items():
+                boundaries = segmenter.segment(values, data.k)
+                sums[(data.snr_db, name)] += distance_percent(
+                    boundaries, data.boundaries, n
+                )
+            counts[data.snr_db] += 1
+        return {
+            snr: {name: sums[(snr, name)] / counts[snr] for name in METHODS}
+            for snr in sorted(counts)
+        }
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["SNR   " + "".join(f"{name:>11s}" for name in METHODS)]
+    for snr, row in table.items():
+        lines.append(f"{snr:<5g} " + "".join(f"{row[name]:11.2f}" for name in METHODS))
+    wins = sum(
+        1
+        for row in table.values()
+        if row["TSExplain"] <= min(row.values()) + 1e-9
+    )
+    clean = [row["TSExplain"] for snr, row in table.items() if snr > 35]
+    lines.append(f"TSExplain best at {wins}/{len(table)} SNR levels")
+    if clean:
+        lines.append(f"TSExplain distance percent at SNR>35: {clean}")
+    emit("fig10_synthetic_accuracy", "\n".join(lines))
+    benchmark.extra_info["tsexplain_wins"] = wins
+    assert wins >= len(table) - 1
+    assert all(value < 3.0 for value in clean)

@@ -1,0 +1,49 @@
+"""Figure 13 + Table 4: segmentation of the S&P 500 index.
+
+Paper result: K=4 — rise (technology/internet retail +, energy -), crash
+(technology/financial/communication -), recovery (technology/consumer
+cyclical/communication + but *not* financial), pullback (technology -).
+"""
+
+import numpy as np
+
+from repro.core.config import ExplainConfig
+from repro.core.engine import TSExplain
+from repro.viz.report import explanation_table, k_variance_table
+from support import emit, real_dataset
+
+
+def bench_fig13_tab4_sp500(benchmark):
+    ds = real_dataset("sp500")
+    engine = TSExplain(
+        ds.relation,
+        measure=ds.measure,
+        explain_by=ds.explain_by,
+        config=ExplainConfig.optimized(),
+    )
+    result = benchmark.pedantic(engine.explain, rounds=1, iterations=1)
+
+    lines = [
+        f"TSExplain: K={result.k} (auto={result.k_was_auto}), "
+        f"cuts at {[str(l) for l in result.cut_labels]}",
+        explanation_table(result),
+        "",
+        k_variance_table(result),
+    ]
+    emit("fig13_tab4_sp500", "\n".join(lines))
+    benchmark.extra_info["k"] = result.k
+
+    assert 3 <= result.k <= 6
+    # The crash segment: largest drop, led by technology with effect '-'.
+    drops = [
+        result.series.values[s.stop] - result.series.values[s.start]
+        for s in result.segments
+    ]
+    crash = result.segments[int(np.argmin(drops))]
+    crash_tops = [repr(s.explanation) for s in crash.explanations]
+    assert any("technology" in t for t in crash_tops)
+    # The recovery segment: largest rise, technology again but with '+'.
+    recovery = result.segments[int(np.argmax(drops))]
+    recovery_tops = [repr(s.explanation) for s in recovery.explanations]
+    assert any("technology" in t for t in recovery_tops)
+    assert not any("financial" in t for t in recovery_tops)  # no fin. rebound

@@ -1,0 +1,47 @@
+"""Figure 14 + Table 5: segmentation of Iowa liquor bottles sold.
+
+Paper result: K=7 — large packs (P=12/24/48 +) ramp up from 1/20, BV=1000
+collapses during the March bar shutdown while BV=1750&P=6 and BV=750&P=12
+rise, BV=1000(&P=12) rebounds after the late-April reopening, and the
+interesting attributes are only BV and P (never VN or CN).
+"""
+
+from repro.core.config import ExplainConfig
+from repro.core.engine import TSExplain
+from repro.viz.report import explanation_table, k_variance_table
+from support import emit, real_dataset, with_smoothing
+
+
+def bench_fig14_tab5_liquor(benchmark):
+    ds = real_dataset("liquor")
+    config = with_smoothing(ds, ExplainConfig.optimized())
+    engine = TSExplain(
+        ds.relation, measure=ds.measure, explain_by=ds.explain_by, config=config
+    )
+    result = benchmark.pedantic(engine.explain, rounds=1, iterations=1)
+
+    lines = [
+        f"TSExplain: K={result.k} (auto={result.k_was_auto}), epsilon="
+        f"{result.epsilon} filtered={result.filtered_epsilon}",
+        explanation_table(result),
+        "",
+        k_variance_table(result),
+    ]
+    emit("fig14_tab5_liquor", "\n".join(lines))
+    benchmark.extra_info["k"] = result.k
+    benchmark.extra_info["epsilon"] = result.epsilon
+
+    assert 5 <= result.k <= 9
+    attributes = {
+        name
+        for segment in result.segments
+        for scored in segment.explanations
+        for name in scored.explanation.attributes()
+    }
+    # "the results are only about BV and P": vendor/category never appear.
+    assert attributes <= {"bottle_volume_ml", "pack"}
+    texts = [
+        repr(s.explanation) for seg in result.segments for s in seg.explanations
+    ]
+    assert any("pack=12" in t for t in texts)
+    assert any("bottle_volume_ml=1000" in t for t in texts)

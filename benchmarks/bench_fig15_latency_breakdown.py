@@ -1,0 +1,43 @@
+"""Figure 15: latency breakdown (precomputation / cascading analysts /
+K-segmentation) for Vanilla, w-filter, O1, O2 and O1+O2 on the four
+real-world datasets.
+
+Paper result: filtering helps where it shrinks epsilon (S&P 500, Liquor);
+sketching (O2) slashes the cascading + segmentation terms everywhere;
+guess-and-verify (O1) matters when epsilon is large (Liquor); O1+O2 is the
+fastest configuration on every dataset.
+"""
+
+import pytest
+
+from repro.evaluation.latency import time_tsexplain
+from support import CONFIGURATIONS, emit, real_dataset, with_smoothing
+
+DATASETS = ("covid-total", "covid-daily", "sp500", "liquor")
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def bench_fig15_latency_breakdown(benchmark, name):
+    ds = real_dataset(name)
+
+    def run():
+        reports = []
+        for label, config in CONFIGURATIONS:
+            reports.append(
+                time_tsexplain(ds, with_smoothing(ds, config), label)
+            )
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"dataset: {name}"]
+    lines.extend(report.row() for report in reports)
+    vanilla = reports[0].total
+    fastest = min(report.total for report in reports)
+    speedup = vanilla / fastest if fastest > 0 else float("inf")
+    lines.append(f"speedup vanilla -> best: {speedup:.1f}x")
+    emit(f"fig15_latency_{name}", "\n".join(lines))
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    by_label = {report.label: report for report in reports}
+    # The fully optimized configuration must beat vanilla.
+    assert by_label["O1+O2"].total < by_label["Vanilla"].total

@@ -1,0 +1,52 @@
+"""Figure 16: end-to-end efficiency of TSExplain vs the baselines
+(baselines get the CA explanation module attached after segmenting).
+
+Paper result: FLUSS is the slowest everywhere; Vanilla TSExplain is
+comparable to Bottom-Up on the Covid datasets and slower on Liquor; fully
+optimized TSExplain is the fastest on every dataset.
+"""
+
+import pytest
+
+from repro.baselines import all_baselines
+from repro.core.config import ExplainConfig
+from repro.evaluation.latency import time_baseline, time_tsexplain
+from support import emit, real_dataset, with_smoothing
+
+DATASETS = ("covid-total", "covid-daily", "liquor")
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def bench_fig16_end_to_end(benchmark, name):
+    ds = real_dataset(name)
+
+    def run():
+        optimized = time_tsexplain(
+            ds, with_smoothing(ds, ExplainConfig.optimized()), "TSExplain(O1+O2)"
+        )
+        k = optimized.k
+        vanilla = time_tsexplain(
+            ds, with_smoothing(ds, ExplainConfig.vanilla(k=k)), "VanillaTSExplain"
+        )
+        baselines = [
+            time_baseline(
+                ds, segmenter, k, with_smoothing(ds, ExplainConfig())
+            )
+            for segmenter in all_baselines()
+        ]
+        return optimized, vanilla, baselines
+
+    optimized, vanilla, baselines = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"dataset: {name} (K={optimized.k})"]
+    for report in baselines:
+        lines.append(report.row())
+    lines.append(vanilla.row())
+    lines.append(optimized.row())
+    emit(f"fig16_end_to_end_{name}", "\n".join(lines))
+
+    times = {report.label: report.total for report in baselines}
+    benchmark.extra_info["optimized_total"] = round(optimized.total, 3)
+    # Optimized TSExplain must be faster than vanilla.
+    assert optimized.total < vanilla.total
+    # FLUSS (matrix profile) should not be the fastest method.
+    assert times["FLUSS"] >= min(times.values())

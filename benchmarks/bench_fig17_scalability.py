@@ -1,0 +1,58 @@
+"""Figure 17: scalability with the time-series length — Vanilla vs fully
+optimized TSExplain on synthetic series of increasing length.
+
+Paper result: vanilla latency grows super-quadratically and is cut off
+beyond length ~1600; the optimized engine scales far more gently (982 ms at
+length 3200 in the authors' C++).  Absolute numbers differ in Python; the
+growth *shape* and the widening vanilla/optimized gap are the takeaways.
+"""
+
+import time
+
+from repro.core.config import ExplainConfig
+from repro.core.engine import TSExplain
+from repro.datasets.synthetic import generate_synthetic
+from support import emit, is_paper_scale
+
+#: Vanilla runs are skipped once the previous length exceeded this budget.
+VANILLA_CUTOFF_SECONDS = 120.0
+
+
+def _run(relation, config) -> float:
+    started = time.perf_counter()
+    TSExplain(relation, measure="sales", explain_by=["category"], config=config).explain()
+    return time.perf_counter() - started
+
+
+def bench_fig17_scalability(benchmark):
+    lengths = (100, 200, 400, 800, 1600, 3200, 6400) if is_paper_scale() else (100, 200, 400)
+
+    def run():
+        rows = []
+        vanilla_alive = True
+        for length in lengths:
+            data = generate_synthetic(99, 35, n_points=length)
+            relation = data.dataset.relation
+            optimized = _run(relation, ExplainConfig.optimized(k=data.k))
+            vanilla = None
+            if vanilla_alive:
+                vanilla = _run(relation, ExplainConfig.vanilla(k=data.k))
+                if vanilla > VANILLA_CUTOFF_SECONDS:
+                    vanilla_alive = False
+            rows.append((length, vanilla, optimized))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"{'length':>7s} {'Vanilla (s)':>12s} {'O1+O2 (s)':>10s}"]
+    for length, vanilla, optimized in rows:
+        vanilla_text = f"{vanilla:12.3f}" if vanilla is not None else f"{'cut off':>12s}"
+        lines.append(f"{length:>7d} {vanilla_text} {optimized:10.3f}")
+    emit("fig17_scalability", "\n".join(lines))
+
+    # The optimized engine must scale strictly better than vanilla.
+    last_with_both = [row for row in rows if row[1] is not None][-1]
+    assert last_with_both[2] <= last_with_both[1]
+    benchmark.extra_info["rows"] = [
+        (length, vanilla, optimized) for length, vanilla, optimized in rows
+    ]

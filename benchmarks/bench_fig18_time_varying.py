@@ -1,0 +1,40 @@
+"""Figure 18: weekly Covid deaths with the time-varying ``vaccinated``
+attribute.
+
+Paper result: before ~week 31 the top contributor is ``vaccinated=NO``;
+afterwards it shifts to ``age-group=50+`` (the Delta wave hits the elderly
+regardless of vaccination status).
+"""
+
+from repro.core.config import ExplainConfig
+from repro.core.engine import TSExplain
+from repro.viz.report import explanation_table, segmentation_chart
+from support import emit, real_dataset
+
+
+def bench_fig18_time_varying(benchmark):
+    ds = real_dataset("covid-deaths")
+    engine = TSExplain(
+        ds.relation,
+        measure=ds.measure,
+        explain_by=ds.explain_by,
+        config=ExplainConfig(),
+    )
+    result = benchmark.pedantic(engine.explain, rounds=1, iterations=1)
+
+    lines = [
+        f"TSExplain: K={result.k} (auto={result.k_was_auto}), cuts at "
+        f"{[str(l) for l in result.cut_labels]}",
+        segmentation_chart(result),
+        "",
+        explanation_table(result),
+    ]
+    emit("fig18_time_varying", "\n".join(lines))
+    benchmark.extra_info["k"] = result.k
+
+    first_top = repr(result.segments[0].explanations[0].explanation)
+    assert first_top == "vaccinated=NO"
+    later_tops = [
+        repr(segment.explanations[0].explanation) for segment in result.segments[1:]
+    ]
+    assert any("age_group=50+" in top for top in later_tops)

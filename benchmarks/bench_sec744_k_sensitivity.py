@@ -1,0 +1,42 @@
+"""Section 7.4.4: sensitivity to K — "a slight change of the optimal K
+will only bring up a slight shift in the results, e.g., remove or add one
+cutting point if K minuses/adds 1"."""
+
+from repro.core.config import ExplainConfig
+from repro.core.engine import TSExplain
+from support import emit, real_dataset
+
+
+def bench_sec744_k_sensitivity(benchmark):
+    ds = real_dataset("covid-total")
+    engine = TSExplain(
+        ds.relation,
+        measure=ds.measure,
+        explain_by=ds.explain_by,
+        config=ExplainConfig.optimized(),
+    )
+
+    def run():
+        auto = engine.explain()
+        k = auto.k
+        minus = engine.explain(config=ExplainConfig.optimized(k=k - 1))
+        plus = engine.explain(config=ExplainConfig.optimized(k=k + 1))
+        return auto, minus, plus
+
+    auto, minus, plus = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def shared(cuts_a, cuts_b, tolerance=3):
+        return sum(
+            1 for c in cuts_a if any(abs(c - d) <= tolerance for d in cuts_b)
+        )
+
+    lines = [
+        f"K*={auto.k}: cuts {list(auto.cuts)}",
+        f"K*-1 : cuts {list(minus.cuts)} ({shared(minus.cuts, auto.cuts)} shared)",
+        f"K*+1 : cuts {list(plus.cuts)} ({shared(plus.cuts, auto.cuts)} shared)",
+    ]
+    emit("sec744_k_sensitivity", "\n".join(lines))
+
+    # Removing/adding one segment keeps most cutting points in place.
+    assert shared(minus.cuts, auto.cuts) >= len(minus.cuts) - 1
+    assert shared(auto.cuts, plus.cuts) >= len(auto.cuts) - 1

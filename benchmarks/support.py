@@ -1,0 +1,69 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section.  Output goes three ways: printed to stdout (visible with
+``pytest -s``), written under ``benchmarks/results/``, and attached to the
+pytest-benchmark record via ``extra_info``.
+
+Scale control
+-------------
+``REPRO_BENCH_SCALE=small`` (default) keeps every harness minutes-scale in
+pure Python; ``REPRO_BENCH_SCALE=paper`` uses the paper's full parameters
+(20 datasets per SNR level, 10 000 sampled schemes, series up to length
+6400, the full-size liquor simulation).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.config import ExplainConfig
+from repro.datasets.base import Dataset
+from repro.datasets.registry import load_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The five optimization configurations of Figure 15.
+CONFIGURATIONS: tuple[tuple[str, ExplainConfig], ...] = (
+    ("Vanilla", ExplainConfig.vanilla()),
+    ("w filter", ExplainConfig.with_filter()),
+    ("O1", ExplainConfig.o1()),
+    ("O2", ExplainConfig.o2()),
+    ("O1+O2", ExplainConfig.optimized()),
+)
+
+
+def scale() -> str:
+    """Benchmark scale: ``small`` (default) or ``paper``."""
+    value = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    return value if value in ("small", "paper") else "small"
+
+
+def is_paper_scale() -> bool:
+    return scale() == "paper"
+
+
+def emit(name: str, text: str) -> str:
+    """Print a report block and persist it under ``benchmarks/results/``."""
+    banner = f"\n===== {name} (scale={scale()}) ====="
+    print(banner)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    return text
+
+
+def real_dataset(name: str) -> Dataset:
+    """Load a real-world simulation at the current scale."""
+    if name == "liquor":
+        n_products = 1600 if is_paper_scale() else 450
+        return load_dataset("liquor", n_products=n_products)
+    return load_dataset(name)
+
+
+def with_smoothing(dataset: Dataset, config: ExplainConfig) -> ExplainConfig:
+    """Attach the dataset's recommended smoothing window to a config."""
+    if dataset.smoothing_window is not None:
+        return config.updated(smoothing_window=dataset.smoothing_window)
+    return config

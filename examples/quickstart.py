@@ -1,0 +1,68 @@
+"""Quickstart: explain a synthetic KPI with evolving contributors.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a tiny sales relation whose growth driver switches from category
+``a`` to category ``b`` half-way through, asks TSExplain to explain the
+aggregated series, and prints the evolving top explanations (the library's
+equivalent of the paper's Figure 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExplainConfig, TSExplain
+from repro.relation import Relation, Schema
+from repro.viz import full_report
+
+
+def build_relation(n_days: int = 60, switch: int = 30) -> Relation:
+    """One row per (day, category); 'a' grows early, 'b' grows late."""
+    rng = np.random.default_rng(0)
+    rows = {"day": [], "category": [], "sales": []}
+    for day in range(n_days):
+        for category in ("a", "b", "c"):
+            if category == "a":
+                value = 20.0 + (3.0 * day if day < switch else 3.0 * switch)
+            elif category == "b":
+                value = 20.0 + (0.0 if day < switch else 4.0 * (day - switch))
+            else:
+                value = 15.0
+            rows["day"].append(f"2024-{day:03d}")
+            rows["category"].append(category)
+            rows["sales"].append(value + rng.normal(0, 0.5))
+    schema = Schema.build(dimensions=["category"], measures=["sales"], time="day")
+    return Relation(rows, schema)
+
+
+def main() -> None:
+    relation = build_relation()
+    engine = TSExplain(
+        relation,
+        measure="sales",
+        explain_by=["category"],
+        config=ExplainConfig(use_filter=False),  # 3 candidates; nothing to filter
+    )
+
+    # 1. The aggregated time series ("what happened").
+    series = engine.series()
+    print(f"Aggregated series: {len(series)} points, "
+          f"{series.values[0]:.0f} -> {series.values[-1]:.0f}\n")
+
+    # 2. Evolving explanations ("why did it change, and when did the
+    #    reasons change").  K is selected automatically with the elbow.
+    result = engine.explain()
+    print(full_report(result))
+
+    # 3. Classic two-relations diff between two endpoints, for contrast:
+    #    it only sees the *net* effect and misses the hand-over.
+    print("\nTwo-point diff over the whole range (what prior engines see):")
+    for scored in engine.top_explanations(series.label_at(0), series.label_at(len(series) - 1)):
+        print(f"  {scored.explanation!r} ({scored.effect_symbol}) gamma={scored.gamma:.1f}")
+
+
+if __name__ == "__main__":
+    main()

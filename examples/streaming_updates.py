@@ -1,0 +1,66 @@
+"""Real-time incremental explanation (paper section 8).
+
+Run with::
+
+    python examples/streaming_updates.py
+
+Feeds a KPI to the :class:`StreamingExplainer` day by day.  After the
+initial explanation, each update re-segments only over the previous
+cutting points plus the newly arrived region, so the explanation stays
+fresh without re-searching the whole history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ExplainConfig, StreamingExplainer
+from repro.relation import Relation, Schema
+
+
+def rows_for(days, driver):
+    """One (day, category, sales) row per category for each day."""
+    rows = {"day": [], "category": [], "sales": []}
+    for day in days:
+        for category in ("search", "social", "email"):
+            base = {"search": 50.0, "social": 30.0, "email": 20.0}[category]
+            rows["day"].append(f"2024-{day:03d}")
+            rows["category"].append(category)
+            rows["sales"].append(base + driver(day, category))
+    schema = Schema.build(dimensions=["category"], measures=["sales"], time="day")
+    return Relation(rows, schema)
+
+
+def main() -> None:
+    # Phase 1 (days 0-29): the 'search' channel ramps up.
+    initial = rows_for(range(30), lambda d, c: 4.0 * d if c == "search" else 0.0)
+    explainer = StreamingExplainer(
+        initial,
+        measure="sales",
+        explain_by=["category"],
+        config=ExplainConfig(use_filter=False),
+    )
+    result = explainer.refresh()
+    print("Initial explanation (30 days):")
+    print(result.describe())
+
+    # Phase 2 (days 30-59): 'social' takes over; search plateaus.
+    def phase2(day, category):
+        if category == "search":
+            return 4.0 * 29
+        if category == "social":
+            return 6.0 * (day - 29)
+        return 0.0
+
+    for chunk_start in range(30, 60, 10):
+        update = rows_for(range(chunk_start, chunk_start + 10), phase2)
+        result = explainer.update(update)
+        print(f"\nAfter appending days {chunk_start}-{chunk_start + 9}:")
+        print(result.describe())
+
+    final_top = result.segments[-1].explanations[0].explanation
+    print(f"\nLatest regime driver: {final_top!r}")
+
+
+if __name__ == "__main__":
+    main()

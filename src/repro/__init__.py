@@ -1,0 +1,27 @@
+"""repro — a faithful reproduction of TSExplain (ICDE 2023).
+
+TSExplain explains an aggregated time series by segmenting it into periods
+with *consistent top contributors* and reporting each period's top-m
+non-overlapping explanations.  See ``README.md`` for a tour and
+``DESIGN.md`` for the system inventory.
+"""
+
+from repro.core.config import ExplainConfig
+from repro.core.engine import TSExplain
+from repro.core.result import ExplainResult, SegmentExplanation
+from repro.exceptions import ReproError
+from repro.relation.table import Relation
+from repro.relation.timeseries import TimeSeries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExplainConfig",
+    "ExplainResult",
+    "Relation",
+    "ReproError",
+    "SegmentExplanation",
+    "TSExplain",
+    "TimeSeries",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Explanation-agnostic segmentation baselines (paper section 7.2)."""
+
+from repro.baselines.base import Segmenter, attach_explanations
+from repro.baselines.bottomup import BottomUpSegmenter, interpolation_error
+from repro.baselines.fluss import FlussSegmenter, corrected_arc_curve
+from repro.baselines.matrix_profile import MatrixProfile, compute_matrix_profile
+from repro.baselines.nnsegment import NNSegmenter, novelty_curve
+
+__all__ = [
+    "BottomUpSegmenter",
+    "FlussSegmenter",
+    "MatrixProfile",
+    "NNSegmenter",
+    "Segmenter",
+    "attach_explanations",
+    "compute_matrix_profile",
+    "corrected_arc_curve",
+    "interpolation_error",
+    "novelty_curve",
+]
+
+
+def all_baselines() -> tuple[Segmenter, ...]:
+    """One default-configured instance of every baseline segmenter."""
+    return (BottomUpSegmenter(), FlussSegmenter(), NNSegmenter())

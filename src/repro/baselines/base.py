@@ -1,0 +1,92 @@
+"""Common interface of the explanation-agnostic segmentation baselines.
+
+The paper compares TSExplain against Bottom-Up [Keogh et al.], FLUSS
+[Gharghabi et al.] and NNSegment [LimeSegment] (section 7.2).  All three
+"partition time series solely based on the visual shapes and require the
+segment number as input"; to make them comparable end to end, the paper
+attaches the cascading-analysts explanation module to each baseline's
+segments afterwards — :func:`attach_explanations` implements that step.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.result import SegmentExplanation
+from repro.diff.scorer import ScoredExplanation, SegmentScorer
+from repro.exceptions import SegmentationError
+from repro.segmentation.variance import TopMSolver
+
+
+class Segmenter(abc.ABC):
+    """A visual-shape segmentation algorithm."""
+
+    #: registry/reporting name
+    name: str = ""
+
+    @abc.abstractmethod
+    def segment(self, values: np.ndarray, k: int) -> tuple[int, ...]:
+        """Split a series into ``k`` segments.
+
+        Returns the boundary positions including both endpoints
+        (``k + 1`` entries, strictly increasing).
+        """
+
+    def _validate(self, values: np.ndarray, k: int) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise SegmentationError(f"expected 1-D series, got shape {values.shape}")
+        if not 1 <= k <= values.shape[0] - 1:
+            raise SegmentationError(
+                f"cannot split a series of {values.shape[0]} points into {k} segments"
+            )
+        return values
+
+    @staticmethod
+    def _finalize(cuts: Sequence[int], n: int) -> tuple[int, ...]:
+        """Normalize interior cuts into a sorted boundary tuple."""
+        interior = sorted(set(int(c) for c in cuts if 0 < int(c) < n - 1))
+        return (0, *interior, n - 1)
+
+    def __repr__(self) -> str:
+        return f"<segmenter {self.name}>"
+
+
+def attach_explanations(
+    scorer: SegmentScorer,
+    solver: TopMSolver,
+    boundaries: Sequence[int],
+) -> list[SegmentExplanation]:
+    """Top-m explanations for each segment of a boundary list.
+
+    This is the "+ explanation module" step the paper adds to every
+    baseline for the end-to-end comparison (section 7.5.2).
+    """
+    cube = scorer.cube
+    series = cube.overall_series()
+    segments: list[SegmentExplanation] = []
+    boundaries = [int(b) for b in boundaries]
+    for start, stop in zip(boundaries, boundaries[1:]):
+        gammas, taus = scorer.gamma_tau(start, stop)
+        result = solver.solve_batch(gammas[None, :])[0]
+        segments.append(
+            SegmentExplanation(
+                start=start,
+                stop=stop,
+                start_label=series.label_at(start),
+                stop_label=series.label_at(stop),
+                explanations=tuple(
+                    ScoredExplanation(
+                        explanation=cube.explanations[index],
+                        gamma=float(gammas[index]),
+                        tau=int(taus[index]),
+                    )
+                    for index in result.indices
+                ),
+                variance=float("nan"),
+            )
+        )
+    return segments

@@ -1,0 +1,72 @@
+"""Exhaustive reference implementations used to test the CA dynamic program.
+
+Two oracles:
+
+* :func:`cascading_optimum` — exhaustive recursion over the *cascading*
+  search space (choose one drill dimension per node, split quota among its
+  values), which is exactly what the DP optimizes.  Exponential; only for
+  tiny candidate sets in tests.
+* :func:`is_non_overlapping` — the Definition 3.4 invariant: explanations
+  are non-overlapping for *every* relation iff each pair conflicts on some
+  shared attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ca.cascade import DrillDownTree, _ROOT
+from repro.relation.predicates import Conjunction
+
+
+def conflicts(left: Conjunction, right: Conjunction) -> bool:
+    """True when the conjunctions assign different values to a shared attribute."""
+    right_items = dict(right.items)
+    for name, value in left.items:
+        if name in right_items and right_items[name] != value:
+            return True
+    return False
+
+
+def is_non_overlapping(explanations: Sequence[Conjunction]) -> bool:
+    """Definition 3.4 check: every pair must conflict (disjoint in any R)."""
+    for i, left in enumerate(explanations):
+        for right in explanations[i + 1 :]:
+            if not conflicts(left, right):
+                return False
+    return True
+
+
+def cascading_optimum(
+    explanations: Sequence[Conjunction], gamma: np.ndarray, m: int
+) -> float:
+    """Best total score reachable by cascading drill-downs, by brute force."""
+    tree = DrillDownTree(explanations)
+    gamma = np.asarray(gamma, dtype=np.float64)
+
+    def node_value(node: int, quota: int) -> float:
+        if quota <= 0:
+            return 0.0
+        best = 0.0
+        candidate = tree.candidate_of(node)
+        if candidate >= 0:
+            best = max(best, float(gamma[candidate]))
+        for _, kids in tree.children_of(node):
+            best = max(best, split_value(kids, 0, quota))
+        return best
+
+    def split_value(kids: tuple[int, ...], position: int, quota: int) -> float:
+        if position == len(kids) or quota == 0:
+            return 0.0
+        best = split_value(kids, position + 1, quota)
+        for allocation in range(1, quota + 1):
+            best = max(
+                best,
+                node_value(kids[position], allocation)
+                + split_value(kids, position + 1, quota - allocation),
+            )
+        return best
+
+    return node_value(_ROOT, m)

@@ -1,0 +1,179 @@
+"""Guess-and-verify optimization (paper section 5.3.1, ``O1``).
+
+Instead of running the cascading-analysts DP over all ``epsilon``
+candidates, guess that the answer lies within the ``m_bar`` highest-scoring
+candidates, solve the much smaller DP, and verify optimality with the
+sufficient condition of Eq. 12:
+
+    Best[m] >= Best[m'] + sum_{1<=j<=m-m'} gamma(E_{r_{m_bar+j}})   for all 0 <= m' < m
+
+where ``chi = [E_r1, E_r2, ...]`` is the candidate list sorted by gamma
+descending.  Any feasible selection splits into explanations ranked within
+the guess (score bounded by ``Best[m']``) and ones ranked after ``m_bar``
+(bounded by the next ``m - m'`` scores in ``chi``), so passing the condition
+proves the guessed answer optimal.  On failure the guess size doubles
+(Figure 9) until it covers all candidates.
+
+Batched variant
+---------------
+TSExplain calls O1 for thousands of segments.  Solving each segment's
+30-candidate DP separately forfeits the batch vectorization of
+:class:`~repro.ca.cascade.CascadingAnalysts`, so :meth:`solve_batch`
+restricts to the *union* of the per-segment top-``m_bar`` prefixes and
+solves all segments against that one (still small) DAG in a single batched
+DP.  The Eq. 12 check stays sound: the union-restricted ``Best[m']`` upper-
+bounds the per-segment restricted one, so passing the (harder) condition
+still certifies optimality; failing segments retry with a doubled prefix.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from repro.ca.cascade import CascadingAnalysts, DrillDownTree, TopMResult
+from repro.exceptions import ExplanationError
+from repro.relation.predicates import Conjunction
+
+#: Paper's empirical initial guess size when m = 3.
+DEFAULT_INITIAL_GUESS = 30
+
+#: When the guessed union covers this fraction of all candidates, fall back
+#: to the full solver — the restriction no longer saves anything.
+_FULL_FALLBACK_FRACTION = 0.8
+
+
+class GuessAndVerify:
+    """Top-m solver that restricts the DP to high-score candidate prefixes.
+
+    Parameters
+    ----------
+    explanations:
+        The full candidate list (cube order); gamma vectors passed to
+        :meth:`solve` index into it.
+    m:
+        Explanation quota.
+    initial_guess:
+        Starting prefix size ``m_bar`` (paper: 30 for m=3).
+    cache_size:
+        Number of restricted drill-down DAGs memoized by candidate subset;
+        neighbouring segment batches usually share their top candidates.
+    """
+
+    def __init__(
+        self,
+        explanations: Sequence[Conjunction],
+        m: int = 3,
+        initial_guess: int = DEFAULT_INITIAL_GUESS,
+        cache_size: int = 64,
+    ):
+        if initial_guess < m:
+            raise ExplanationError(
+                f"initial guess {initial_guess} must be >= m ({m})"
+            )
+        self._explanations = tuple(explanations)
+        self._m = m
+        self._initial_guess = initial_guess
+        self._cache: OrderedDict[tuple[int, ...], CascadingAnalysts] = OrderedDict()
+        self._cache_size = cache_size
+        self._full_solver: CascadingAnalysts | None = None
+        #: number of guess rounds performed across calls (telemetry/tests)
+        self.iterations = 0
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    # ------------------------------------------------------------------
+    def solve(self, gamma: np.ndarray) -> TopMResult:
+        """Verified-optimal top-m result for one gamma vector."""
+        return self.solve_batch(np.asarray(gamma, dtype=np.float64)[None, :])[0]
+
+    def solve_batch(self, gammas: np.ndarray) -> list[TopMResult]:
+        """Verified-optimal top-m results for a gamma matrix."""
+        gammas = np.asarray(gammas, dtype=np.float64)
+        if gammas.ndim != 2 or gammas.shape[1] != len(self._explanations):
+            raise ExplanationError(
+                f"gamma matrix shape {gammas.shape} does not match "
+                f"{len(self._explanations)} candidates"
+            )
+        n_segments, n_candidates = gammas.shape
+        if n_segments == 0:
+            return []
+        order = np.argsort(-gammas, axis=1, kind="stable")
+        results: list[TopMResult | None] = [None] * n_segments
+        pending = list(range(n_segments))
+        guess = min(self._initial_guess, n_candidates)
+        while pending:
+            self.iterations += 1
+            if guess >= n_candidates:
+                self._solve_full(gammas, pending, results)
+                break
+            union = np.unique(order[pending, :guess])
+            if union.shape[0] >= _FULL_FALLBACK_FRACTION * n_candidates:
+                self._solve_full(gammas, pending, results)
+                break
+            solver = self._restricted_solver(union)
+            local = solver.solve_batch(gammas[pending][:, union])
+            still_pending: list[int] = []
+            for row, restricted in zip(pending, local):
+                mapped = TopMResult(
+                    indices=tuple(int(union[i]) for i in restricted.indices),
+                    gammas=restricted.gammas,
+                    best=restricted.best,
+                )
+                sorted_gamma = gammas[row, order[row]]
+                if self._verified(mapped, sorted_gamma, guess):
+                    results[row] = mapped
+                else:
+                    still_pending.append(row)
+            pending = still_pending
+            guess = min(2 * guess, n_candidates)
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _solve_full(
+        self,
+        gammas: np.ndarray,
+        pending: list[int],
+        results: list[TopMResult | None],
+    ) -> None:
+        """Exact fallback over the complete candidate set."""
+        if self._full_solver is None:
+            self._full_solver = CascadingAnalysts(
+                DrillDownTree(self._explanations), self._m
+            )
+        solved = self._full_solver.solve_batch(gammas[pending])
+        for row, result in zip(pending, solved):
+            results[row] = result
+
+    def _restricted_solver(self, union: np.ndarray) -> CascadingAnalysts:
+        key = tuple(int(i) for i in union)
+        solver = self._cache.get(key)
+        if solver is None:
+            tree = DrillDownTree([self._explanations[i] for i in key])
+            solver = CascadingAnalysts(tree, self._m)
+            self._cache[key] = solver
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        else:
+            self._cache.move_to_end(key)
+        return solver
+
+    def _verified(
+        self, result: TopMResult, sorted_gamma: np.ndarray, guess: int
+    ) -> bool:
+        """Check the sufficient optimality condition of Eq. 12."""
+        tail = sorted_gamma[guess : guess + self._m]
+        tail_prefix_sums = np.concatenate([[0.0], np.cumsum(tail)])
+        best = result.best
+        best_m = best[self._m]
+        for m_prime in range(self._m):
+            needed = self._m - m_prime
+            tail_sum = float(tail_prefix_sums[min(needed, tail.shape[0])])
+            if best_m < best[m_prime] + tail_sum - 1e-12 * max(1.0, abs(best_m)):
+                return False
+        return True

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``explain``
+    Run TSExplain on a bundled dataset or a CSV file and print the
+    evolving explanations.
+``diff``
+    Classic two-relations diff between two timestamps.
+``recommend``
+    Rank candidate explain-by attributes for a query.
+``datasets``
+    List the bundled datasets.
+
+Examples
+--------
+::
+
+    python -m repro explain --dataset covid-total
+    python -m repro explain --csv sales.csv --time day \\
+        --dimensions region,channel --measure revenue --k 4
+    python -m repro diff --dataset covid-total \\
+        --start 2020-03-01 --stop 2020-06-01
+    python -m repro recommend --dataset liquor
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import ExplainConfig
+from repro.core.engine import TSExplain
+from repro.core.recommend import recommend_explain_by
+from repro.datasets.base import Dataset
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.exceptions import ReproError
+from repro.relation.csvio import read_csv
+from repro.viz.report import explanation_table, full_report, segment_sparklines
+
+
+def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_argument_group("data source (pick one)")
+    source.add_argument("--dataset", help="bundled dataset name")
+    source.add_argument("--csv", help="path to a CSV file")
+    source.add_argument("--time", help="time column (CSV source)")
+    source.add_argument(
+        "--dimensions", help="comma-separated dimension columns (CSV source)"
+    )
+    source.add_argument("--measure", help="measure column")
+    source.add_argument(
+        "--explain-by",
+        help="comma-separated explain-by attributes (default: all dimensions)",
+    )
+    source.add_argument("--aggregate", default=None, help="aggregate function (default sum)")
+
+
+def _load_source(args: argparse.Namespace) -> Dataset:
+    if bool(args.dataset) == bool(args.csv):
+        raise ReproError("specify exactly one of --dataset or --csv")
+    if args.dataset:
+        dataset = load_dataset(args.dataset)
+        if args.measure:
+            dataset = Dataset(
+                name=dataset.name,
+                relation=dataset.relation,
+                measure=args.measure,
+                explain_by=dataset.explain_by,
+                aggregate=args.aggregate or dataset.aggregate,
+                description=dataset.description,
+                smoothing_window=dataset.smoothing_window,
+                extras=dataset.extras,
+            )
+        return dataset
+    if not (args.time and args.dimensions and args.measure):
+        raise ReproError("--csv requires --time, --dimensions and --measure")
+    dimensions = [name.strip() for name in args.dimensions.split(",") if name.strip()]
+    relation = read_csv(
+        args.csv, dimensions=dimensions, measures=[args.measure], time=args.time
+    )
+    return Dataset(
+        name=args.csv,
+        relation=relation,
+        measure=args.measure,
+        explain_by=tuple(dimensions),
+        aggregate=args.aggregate or "sum",
+    )
+
+
+def _explain_by(args: argparse.Namespace, dataset: Dataset) -> tuple[str, ...]:
+    if args.explain_by:
+        return tuple(name.strip() for name in args.explain_by.split(",") if name.strip())
+    return dataset.explain_by
+
+
+def _build_config(args: argparse.Namespace, dataset: Dataset) -> ExplainConfig:
+    if args.vanilla:
+        config = ExplainConfig.vanilla()
+    else:
+        config = ExplainConfig.optimized()
+    overrides: dict = {}
+    if args.k is not None:
+        overrides["k"] = args.k
+    if args.m is not None:
+        overrides["m"] = args.m
+    if args.metric is not None:
+        overrides["metric"] = args.metric
+    if args.variant is not None:
+        overrides["variant"] = args.variant
+    smoothing = args.smoothing
+    if smoothing is None:
+        smoothing = dataset.smoothing_window
+    if smoothing is not None and smoothing > 1:
+        overrides["smoothing_window"] = smoothing
+    return config.updated(**overrides) if overrides else config
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    dataset = _load_source(args)
+    config = _build_config(args, dataset)
+    engine = TSExplain(
+        dataset.relation,
+        measure=dataset.measure,
+        explain_by=_explain_by(args, dataset),
+        aggregate=dataset.aggregate,
+        config=config,
+    )
+    result = engine.explain(start=args.start, stop=args.stop)
+    if args.report == "table":
+        print(explanation_table(result))
+    elif args.report == "sparklines":
+        print(segment_sparklines(result))
+    else:
+        print(full_report(result))
+    print(
+        f"\nK={result.k}{' (auto)' if result.k_was_auto else ''}  "
+        f"epsilon={result.epsilon} (filtered {result.filtered_epsilon})  "
+        f"latency={result.timings['total']:.2f}s"
+    )
+    return 0
+
+
+def _command_diff(args: argparse.Namespace) -> int:
+    dataset = _load_source(args)
+    engine = TSExplain(
+        dataset.relation,
+        measure=dataset.measure,
+        explain_by=_explain_by(args, dataset),
+        aggregate=dataset.aggregate,
+        config=ExplainConfig(m=args.m or 3),
+    )
+    for scored in engine.top_explanations(args.start, args.stop):
+        print(f"{scored.explanation!r} ({scored.effect_symbol}) gamma={scored.gamma:g}")
+    return 0
+
+
+def _command_recommend(args: argparse.Namespace) -> int:
+    dataset = _load_source(args)
+    scores = recommend_explain_by(
+        dataset.relation,
+        dataset.measure,
+        aggregate=dataset.aggregate,
+        m=args.m or 3,
+    )
+    for score in scores:
+        print(score.row())
+    return 0
+
+
+def _command_datasets(_: argparse.Namespace) -> int:
+    for name in available_datasets():
+        dataset = load_dataset(name) if name != "liquor" else load_dataset(name, n_products=50)
+        print(f"{name:<14s} {dataset.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TSExplain: explain aggregated time series by their evolving contributors",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    explain = commands.add_parser("explain", help="segment and explain a KPI")
+    _add_source_arguments(explain)
+    explain.add_argument("--k", type=int, help="fixed segment count (default: elbow)")
+    explain.add_argument("--m", type=int, help="explanations per segment (default 3)")
+    explain.add_argument("--metric", help="difference metric (default absolute-change)")
+    explain.add_argument("--variant", help="variance design (default tse)")
+    explain.add_argument("--smoothing", type=int, help="moving-average window")
+    explain.add_argument("--vanilla", action="store_true", help="disable all optimizations")
+    explain.add_argument("--start", help="first timestamp label of the window")
+    explain.add_argument("--stop", help="last timestamp label of the window")
+    explain.add_argument(
+        "--report",
+        choices=("full", "table", "sparklines"),
+        default="table",
+        help="output style",
+    )
+    explain.set_defaults(handler=_command_explain)
+
+    diff = commands.add_parser("diff", help="two-point diff between timestamps")
+    _add_source_arguments(diff)
+    diff.add_argument("--start", required=True, help="control timestamp label")
+    diff.add_argument("--stop", required=True, help="test timestamp label")
+    diff.add_argument("--m", type=int, help="number of explanations (default 3)")
+    diff.set_defaults(handler=_command_diff)
+
+    recommend = commands.add_parser("recommend", help="rank explain-by attributes")
+    _add_source_arguments(recommend)
+    recommend.add_argument("--m", type=int, help="probe quota (default 3)")
+    recommend.set_defaults(handler=_command_recommend)
+
+    datasets = commands.add_parser("datasets", help="list bundled datasets")
+    datasets.set_defaults(handler=_command_datasets)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""The :class:`TSExplain` facade — the library's main entry point.
+
+Typical use::
+
+    from repro import TSExplain
+    from repro.datasets import covid
+
+    relation = covid.load_covid().relation
+    engine = TSExplain(relation, measure="total_confirmed_cases",
+                       explain_by=["state"])
+    result = engine.explain()
+    print(result.describe())
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.config import ExplainConfig
+from repro.core.pipeline import ExplainPipeline
+from repro.core.result import ExplainResult
+from repro.diff.scorer import ScoredExplanation
+from repro.exceptions import QueryError
+from repro.relation.groupby import aggregate_over_time
+from repro.relation.predicates import In
+from repro.relation.table import Relation
+from repro.relation.timeseries import TimeSeries
+
+
+class TSExplain:
+    """Explain an aggregated time series by its evolving top contributors.
+
+    Parameters
+    ----------
+    relation:
+        The base relation ``R``.
+    measure:
+        Measure attribute ``M`` of the aggregate query.
+    explain_by:
+        Explain-by attribute names ``A`` (user domain knowledge; defaults
+        to every dimension attribute when omitted).
+    aggregate:
+        Aggregate function name (default ``sum``).
+    time_attr:
+        Time attribute ``T``; defaults to the schema's time attribute.
+    config:
+        Pipeline configuration; keyword overrides may be passed instead,
+        e.g. ``TSExplain(..., k=6, use_sketch=True)``.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        measure: str,
+        explain_by: Sequence[str] | None = None,
+        aggregate: str = "sum",
+        time_attr: str | None = None,
+        config: ExplainConfig | None = None,
+        **config_overrides,
+    ):
+        if config is not None and config_overrides:
+            config = config.updated(**config_overrides)
+        elif config is None:
+            config = ExplainConfig(**config_overrides)
+        if explain_by is None:
+            explain_by = relation.schema.dimension_names()
+        self._relation = relation
+        self._measure = measure
+        self._explain_by = tuple(explain_by)
+        self._aggregate = aggregate
+        self._time_attr = time_attr or relation.schema.require_time()
+        self._config = config
+        self._last_result: ExplainResult | None = None
+
+    @property
+    def config(self) -> ExplainConfig:
+        return self._config
+
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    # ------------------------------------------------------------------
+    def series(self) -> TimeSeries:
+        """The aggregated time series being explained (unsmoothed)."""
+        return aggregate_over_time(
+            self._relation, self._measure, self._aggregate, self._time_attr
+        )
+
+    def explain(
+        self,
+        start: Hashable | None = None,
+        stop: Hashable | None = None,
+        config: ExplainConfig | None = None,
+    ) -> ExplainResult:
+        """Run TSExplain, optionally restricted to a label window.
+
+        Parameters
+        ----------
+        start / stop:
+            Timestamp labels delimiting the period of interest (both
+            inclusive); defaults to the whole series.
+        config:
+            One-off configuration override for this call.
+        """
+        relation = self._window(start, stop)
+        pipeline = ExplainPipeline(
+            relation,
+            self._measure,
+            self._explain_by,
+            aggregate=self._aggregate,
+            time_attr=self._time_attr,
+            config=config or self._config,
+        )
+        result = pipeline.run()
+        self._last_result = result
+        return result
+
+    def top_explanations(
+        self,
+        start: Hashable,
+        stop: Hashable,
+        m: int | None = None,
+    ) -> list[ScoredExplanation]:
+        """Classic two-relations diff between two timestamps.
+
+        The control relation is the data at ``start`` and the test relation
+        the data at ``stop`` (Example 3.1); returns the top-m
+        non-overlapping explanations of their difference.
+        """
+        pipeline = ExplainPipeline(
+            self._window(None, None),
+            self._measure,
+            self._explain_by,
+            aggregate=self._aggregate,
+            time_attr=self._time_attr,
+            config=self._config if m is None else self._config.updated(m=m),
+        )
+        scorer = pipeline.prepare()
+        solver = pipeline._build_solver(scorer)
+        series = scorer.cube.overall_series()
+        start_pos = series.position_of(start)
+        stop_pos = series.position_of(stop)
+        if start_pos >= stop_pos:
+            raise QueryError(f"start {start!r} must precede stop {stop!r}")
+        gammas, taus = scorer.gamma_tau(start_pos, stop_pos)
+        result = solver.solve_batch(gammas[None, :])[0]
+        return [
+            ScoredExplanation(
+                explanation=scorer.cube.explanations[index],
+                gamma=float(gammas[index]),
+                tau=int(taus[index]),
+            )
+            for index in result.indices
+        ]
+
+    @property
+    def last_result(self) -> ExplainResult | None:
+        """The most recent :meth:`explain` result, if any."""
+        return self._last_result
+
+    # ------------------------------------------------------------------
+    def _window(self, start: Hashable | None, stop: Hashable | None) -> Relation:
+        """Restrict the relation to rows whose time label lies in a window."""
+        if start is None and stop is None:
+            return self._relation
+        series = self.series()
+        labels = list(series.labels)
+        start_pos = series.position_of(start) if start is not None else 0
+        stop_pos = series.position_of(stop) if stop is not None else len(labels) - 1
+        if start_pos >= stop_pos:
+            raise QueryError("window must contain at least two time points")
+        wanted = labels[start_pos : stop_pos + 1]
+        return self._relation.filter(In(self._time_attr, wanted))

@@ -1,0 +1,104 @@
+"""Inspection hints for high-variance segments (paper section 9).
+
+"Several future work directions include ... adding hints for segments with
+higher variance for further inspection."  A segment with high
+within-segment variance means its top explanations are *not* consistent
+across the period — either K was too small or something interesting is
+buried inside.  This module flags such segments and can drill into one by
+re-running TSExplain on just that window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.config import ExplainConfig
+from repro.core.engine import TSExplain
+from repro.core.result import ExplainResult, SegmentExplanation
+from repro.exceptions import QueryError
+
+#: Segments whose variance exceeds this multiple of the mean are flagged.
+DEFAULT_VARIANCE_FACTOR = 1.5
+
+#: Minimum absolute variance to be worth flagging at all.  Distances live
+#: in [0, 1], so a variance this small means the segment is essentially
+#: cohesive even if its neighbours are perfectly so.
+DEFAULT_MIN_VARIANCE = 0.1
+
+
+@dataclass(frozen=True)
+class SegmentHint:
+    """A flagged segment and why it deserves a closer look.
+
+    Attributes
+    ----------
+    segment:
+        The flagged segment.
+    variance:
+        Its within-segment variance.
+    relative:
+        Variance divided by the mean variance of all segments.
+    """
+
+    segment: SegmentExplanation
+    variance: float
+    relative: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.segment.start_label} ~ {self.segment.stop_label}: "
+            f"variance {self.variance:.3f} ({self.relative:.1f}x the mean) — "
+            "explanations are inconsistent here; consider drilling down"
+        )
+
+
+def variance_hints(
+    result: ExplainResult,
+    factor: float = DEFAULT_VARIANCE_FACTOR,
+    min_variance: float = DEFAULT_MIN_VARIANCE,
+) -> list[SegmentHint]:
+    """Segments whose variance stands out and is large enough to matter.
+
+    A segment is flagged when its variance is at least ``factor`` times the
+    mean segment variance *and* at least ``min_variance`` in absolute terms
+    (distances live in [0, 1], so tiny variances mean the segment is
+    already cohesive).  Returns an empty list when every segment is
+    similarly cohesive.
+    """
+    if factor <= 0:
+        raise QueryError(f"factor must be positive, got {factor}")
+    variances = [segment.variance for segment in result.segments]
+    if not variances:
+        return []
+    mean = sum(variances) / len(variances)
+    if mean <= 1e-12:
+        return []
+    hints = [
+        SegmentHint(segment=segment, variance=segment.variance, relative=segment.variance / mean)
+        for segment in result.segments
+        if segment.variance >= factor * mean and segment.variance >= min_variance
+    ]
+    hints.sort(key=lambda hint: -hint.variance)
+    return hints
+
+
+def drill_down(
+    engine: TSExplain,
+    segment: SegmentExplanation,
+    config: ExplainConfig | None = None,
+) -> ExplainResult:
+    """Re-explain a single segment at finer granularity.
+
+    Runs the engine on the segment's window only (so the elbow can pick a
+    fresh K for the sub-period).  Raises if the segment is too short to
+    split further.
+    """
+    start: Hashable = segment.start_label
+    stop: Hashable = segment.stop_label
+    if segment.length < 3:
+        raise QueryError(
+            f"segment {start} ~ {stop} has only {segment.length} steps; "
+            "nothing to drill into"
+        )
+    return engine.explain(start=start, stop=stop, config=config)

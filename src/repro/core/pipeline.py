@@ -1,0 +1,259 @@
+"""The three-module TSExplain pipeline (paper Figure 7).
+
+(a) *Precomputation*: build the explanation cube (difference scores become
+O(1) lookups), apply smoothing and the support filter.
+(b) *Cascading Analysts*: top-m non-overlapping explanations per segment,
+optionally through guess-and-verify (O1).
+(c) *K-Segmentation*: NDCG-based segment costs, the Eq. 11 dynamic program,
+and the elbow selection of K — optionally on a sketch (O2).
+
+Wall-clock seconds of each module are recorded for the latency-breakdown
+experiment (Figure 15).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.ca.cascade import CascadingAnalysts, DrillDownTree
+from repro.ca.guess_verify import GuessAndVerify
+from repro.core.config import ExplainConfig
+from repro.core.result import ExplainResult, SegmentExplanation
+from repro.core.smoothing import smooth_cube
+from repro.cube.datacube import ExplanationCube
+from repro.cube.filters import apply_support_filter
+from repro.diff.scorer import ScoredExplanation, SegmentScorer
+from repro.exceptions import SegmentationError
+from repro.relation.table import Relation
+from repro.segmentation.dp import SegmentationScheme, solve_k_segmentation
+from repro.segmentation.kselect import elbow_point
+from repro.segmentation.sketch import select_sketch
+from repro.segmentation.variance import SegmentationCosts, scheme_total_variance
+
+
+class ExplainPipeline:
+    """One end-to-end TSExplain run over a relation.
+
+    Parameters
+    ----------
+    relation:
+        Source rows.
+    measure:
+        Measure attribute ``M``.
+    explain_by:
+        Explain-by attribute names ``A``.
+    aggregate:
+        Aggregate function name (default ``sum``).
+    time_attr:
+        Time attribute ``T``; defaults to the schema's time attribute.
+    config:
+        Pipeline configuration (default: paper defaults with the support
+        filter on).
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        measure: str,
+        explain_by: Sequence[str],
+        aggregate: str = "sum",
+        time_attr: str | None = None,
+        config: ExplainConfig | None = None,
+    ):
+        self._relation = relation
+        self._measure = measure
+        self._explain_by = tuple(explain_by)
+        self._aggregate = aggregate
+        self._time_attr = time_attr
+        self._config = config or ExplainConfig()
+        self._cube: ExplanationCube | None = None
+        self._scorer: SegmentScorer | None = None
+        self._epsilon = 0
+        self._filtered_epsilon = 0
+
+    @property
+    def config(self) -> ExplainConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Module (a): precomputation
+    # ------------------------------------------------------------------
+    def prepare(self) -> SegmentScorer:
+        """Build cube, smoothing, filter and scorer (idempotent)."""
+        if self._scorer is not None:
+            return self._scorer
+        config = self._config
+        cube = ExplanationCube(
+            self._relation,
+            self._explain_by,
+            self._measure,
+            aggregate=self._aggregate,
+            time_attr=self._time_attr,
+            max_order=config.max_order,
+            deduplicate=config.deduplicate,
+        )
+        self._epsilon = cube.n_explanations
+        if config.smoothing_window is not None:
+            cube = smooth_cube(cube, config.smoothing_window)
+        if config.use_filter:
+            cube = apply_support_filter(cube, config.filter_ratio)
+        self._filtered_epsilon = cube.n_explanations
+        self._cube = cube
+        self._scorer = SegmentScorer(cube, config.metric)
+        return self._scorer
+
+    # ------------------------------------------------------------------
+    def _build_solver(self, scorer: SegmentScorer):
+        """Module (b) solver: plain CA, or guess-and-verify when enabled."""
+        tree = DrillDownTree(scorer.cube.explanations)
+        if self._config.use_guess_verify and not tree.is_flat:
+            return GuessAndVerify(
+                scorer.cube.explanations,
+                m=self._config.m,
+                initial_guess=max(self._config.initial_guess, self._config.m),
+            )
+        return CascadingAnalysts(tree, m=self._config.m)
+
+    # ------------------------------------------------------------------
+    # Full run
+    # ------------------------------------------------------------------
+    def run(self) -> ExplainResult:
+        """Execute the pipeline and return the evolving explanations."""
+        config = self._config
+        timings = {"precomputation": 0.0, "cascading": 0.0, "segmentation": 0.0}
+
+        started = time.perf_counter()
+        scorer = self.prepare()
+        solver = self._build_solver(scorer)
+        timings["precomputation"] += time.perf_counter() - started
+
+        n_times = scorer.cube.n_times
+        if n_times < 2:
+            raise SegmentationError("cannot explain a series with fewer than 2 points")
+
+        positions: np.ndarray | None = None
+        if config.use_sketch and n_times >= 8:
+            sketch_timings: dict[str, float] = {}
+            positions = select_sketch(
+                scorer,
+                solver,
+                m=config.m,
+                variant=config.variant,
+                length_cap=config.sketch_length,
+                size=config.sketch_size,
+                timings=sketch_timings,
+            )
+            timings["precomputation"] += sketch_timings.get("precompute", 0.0)
+            timings["cascading"] += sketch_timings.get("cascading", 0.0)
+            timings["segmentation"] += sketch_timings.get("segmentation", 0.0)
+
+        costs = SegmentationCosts(
+            scorer,
+            solver,
+            m=config.m,
+            variant=config.variant,
+            cut_positions=positions,
+        )
+        timings["precomputation"] += costs.timings["precompute"]
+        timings["cascading"] += costs.timings["cascading"]
+        timings["segmentation"] += costs.timings["segmentation"]
+
+        dp_started = time.perf_counter()
+        k_cap = min(config.k_max, costs.n_points - 1)
+        requested_k = config.k
+        if requested_k is not None and requested_k > costs.n_points - 1:
+            raise SegmentationError(
+                f"k={requested_k} infeasible for {costs.n_points} candidate points"
+            )
+        schemes = solve_k_segmentation(
+            costs.cost_matrix, k_max=max(k_cap, requested_k or 1)
+        )
+        by_k = {scheme.k: scheme for scheme in schemes}
+        if requested_k is None:
+            ks = sorted(by_k)
+            chosen_k = elbow_point(ks, [by_k[k].total_cost for k in ks])
+            k_was_auto = True
+        else:
+            if requested_k not in by_k:
+                raise SegmentationError(f"no feasible scheme with k={requested_k}")
+            chosen_k = requested_k
+            k_was_auto = False
+        scheme = by_k[chosen_k]
+        timings["segmentation"] += time.perf_counter() - dp_started
+
+        result = self._assemble(scorer, costs, scheme, k_was_auto, by_k, timings)
+        return result
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        scorer: SegmentScorer,
+        costs: SegmentationCosts,
+        scheme: SegmentationScheme,
+        k_was_auto: bool,
+        by_k: dict[int, SegmentationScheme],
+        timings: dict[str, float],
+    ) -> ExplainResult:
+        series = scorer.cube.overall_series()
+        # When the scheme was found on a sketch, re-evaluate its variance at
+        # full resolution so quality numbers are comparable with vanilla
+        # runs (the Table 7 protocol).
+        full_resolution = costs.n_points == scorer.cube.n_times
+        original_boundaries = [int(costs.positions[b]) for b in scheme.boundaries]
+        if full_resolution:
+            total_variance = scheme.total_cost
+            per_segment = [
+                costs.variance(left, right) for left, right in scheme.segments()
+            ]
+        else:
+            evaluation_started = time.perf_counter()
+            solver = self._build_solver(scorer)
+            total_variance, per_segment = scheme_total_variance(
+                scorer,
+                solver,
+                original_boundaries,
+                m=self._config.m,
+                variant=self._config.variant,
+            )
+            timings["segmentation"] += time.perf_counter() - evaluation_started
+        segments = []
+        for (left, right), segment_variance in zip(scheme.segments(), per_segment):
+            top = costs.segment_result(left, right)
+            explanations = tuple(
+                ScoredExplanation(
+                    explanation=scorer.cube.explanations[index],
+                    gamma=gamma,
+                    tau=tau,
+                )
+                for index, gamma, tau in zip(top.indices, top.gammas, top.taus)
+            )
+            start_pos = int(costs.positions[left])
+            stop_pos = int(costs.positions[right])
+            segments.append(
+                SegmentExplanation(
+                    start=start_pos,
+                    stop=stop_pos,
+                    start_label=series.label_at(start_pos),
+                    stop_label=series.label_at(stop_pos),
+                    explanations=explanations,
+                    variance=segment_variance,
+                )
+            )
+        timings["total"] = (
+            timings["precomputation"] + timings["cascading"] + timings["segmentation"]
+        )
+        return ExplainResult(
+            series=series,
+            segments=tuple(segments),
+            k=scheme.k,
+            k_was_auto=k_was_auto,
+            k_variance_curve={k: s.total_cost for k, s in sorted(by_k.items())},
+            total_variance=total_variance,
+            timings=timings,
+            epsilon=self._epsilon,
+            filtered_epsilon=self._filtered_epsilon,
+            config=self._config,
+        )

@@ -1,0 +1,160 @@
+"""Explain-by attribute recommendation (paper section 9, future work).
+
+"Several future work directions include ... recommending explain-by
+attributes."  This module implements that direction: each candidate
+dimension is scored by how well its best single-attribute explanations
+account for the changes of the aggregated series, so users without domain
+knowledge get a ranked starting point.
+
+Scoring
+-------
+For a dimension ``A`` we build a single-attribute cube and measure, over a
+set of probe segments (the unit objects of a coarse grid), the *coverage*
+``sum of top-m gamma / |overall change|`` and the *concentration*
+(coverage of the top-1 alone).  High coverage with high concentration means
+a few values of ``A`` explain most of what happens — exactly what makes an
+attribute a good explain-by choice.  Attributes whose every value moves in
+lock-step with the total (e.g. a uniform shard id) have high coverage but
+low concentration and rank below genuinely discriminative attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ca.cascade import CascadingAnalysts, DrillDownTree
+from repro.cube.datacube import ExplanationCube
+from repro.diff.scorer import SegmentScorer
+from repro.exceptions import QueryError
+from repro.relation.table import Relation
+
+
+@dataclass(frozen=True)
+class AttributeScore:
+    """Recommendation record for one candidate explain-by attribute.
+
+    Attributes
+    ----------
+    attribute:
+        The dimension name.
+    coverage:
+        Mean share of the per-segment change explained by the top-m
+        non-overlapping explanations of this attribute alone (0..1).
+    concentration:
+        Mean share explained by the top-1 explanation (0..1); higher means
+        fewer values carry the signal.
+    cardinality:
+        Number of distinct values (high-cardinality attributes are harder
+        to read and slightly penalized in the final score).
+    score:
+        The ranking key: ``coverage * concentration`` with a soft
+        cardinality penalty.
+    """
+
+    attribute: str
+    coverage: float
+    concentration: float
+    cardinality: int
+    score: float
+
+    def row(self) -> str:
+        return (
+            f"{self.attribute:<24s} coverage={self.coverage:6.3f} "
+            f"top1={self.concentration:6.3f} |values|={self.cardinality:<6d} "
+            f"score={self.score:6.3f}"
+        )
+
+
+def recommend_explain_by(
+    relation: Relation,
+    measure: str,
+    candidates: Sequence[str] | None = None,
+    aggregate: str = "sum",
+    time_attr: str | None = None,
+    m: int = 3,
+    n_probes: int = 16,
+) -> list[AttributeScore]:
+    """Rank candidate dimensions by how well they explain the series.
+
+    Parameters
+    ----------
+    relation / measure / aggregate / time_attr:
+        The query being explained.
+    candidates:
+        Dimensions to consider (default: every dimension attribute).
+    m:
+        Explanation quota used when probing.
+    n_probes:
+        Number of probe segments (a coarse even grid over the series).
+
+    Returns
+    -------
+    list of :class:`AttributeScore`, best first.
+    """
+    if candidates is None:
+        candidates = relation.schema.dimension_names()
+    if not candidates:
+        raise QueryError("no candidate dimensions to recommend from")
+    scores = []
+    for attribute in candidates:
+        scores.append(
+            _score_attribute(
+                relation, measure, attribute, aggregate, time_attr, m, n_probes
+            )
+        )
+    scores.sort(key=lambda s: -s.score)
+    return scores
+
+
+def _probe_segments(n_times: int, n_probes: int) -> list[tuple[int, int]]:
+    """A coarse even grid of probe segments covering the series."""
+    n_probes = max(1, min(n_probes, n_times - 1))
+    edges = np.unique(np.linspace(0, n_times - 1, n_probes + 1).astype(int))
+    return [(int(a), int(b)) for a, b in zip(edges, edges[1:]) if b > a]
+
+
+def _score_attribute(
+    relation: Relation,
+    measure: str,
+    attribute: str,
+    aggregate: str,
+    time_attr: str | None,
+    m: int,
+    n_probes: int,
+) -> AttributeScore:
+    cube = ExplanationCube(
+        relation,
+        [attribute],
+        measure,
+        aggregate=aggregate,
+        time_attr=time_attr,
+        max_order=1,
+    )
+    scorer = SegmentScorer(cube)
+    solver = CascadingAnalysts(DrillDownTree(cube.explanations), m=m)
+    coverages: list[float] = []
+    concentrations: list[float] = []
+    for start, stop in _probe_segments(cube.n_times, n_probes):
+        overall = abs(cube.overall_change(start, stop))
+        if overall <= 0.0:
+            continue
+        gammas = scorer.gamma(start, stop)
+        result = solver.solve(gammas)
+        coverages.append(min(result.total / overall, 1.0))
+        top1 = result.gammas[0] if result.gammas else 0.0
+        concentrations.append(min(top1 / overall, 1.0))
+    coverage = float(np.mean(coverages)) if coverages else 0.0
+    concentration = float(np.mean(concentrations)) if concentrations else 0.0
+    cardinality = int(len(cube.explanations))
+    # Soft readability penalty: every decade of cardinality costs 10%.
+    penalty = 1.0 / (1.0 + 0.1 * np.log10(max(cardinality, 1)))
+    return AttributeScore(
+        attribute=attribute,
+        coverage=coverage,
+        concentration=concentration,
+        cardinality=cardinality,
+        score=float(coverage * concentration * penalty),
+    )

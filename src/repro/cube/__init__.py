@@ -1,0 +1,18 @@
+"""Explanation candidates and the per-explanation time-series data cube."""
+
+from repro.cube.datacube import ExplanationCube
+from repro.cube.explanations import CandidateSet, enumerate_candidates
+from repro.cube.filters import (
+    DEFAULT_FILTER_RATIO,
+    apply_support_filter,
+    support_filter_mask,
+)
+
+__all__ = [
+    "CandidateSet",
+    "DEFAULT_FILTER_RATIO",
+    "ExplanationCube",
+    "apply_support_filter",
+    "enumerate_candidates",
+    "support_filter_mask",
+]

@@ -1,0 +1,276 @@
+"""The per-explanation time-series data cube (paper section 5.2, module a).
+
+For every candidate explanation ``E`` the cube materializes the aggregated
+time series of the *included* slice ``ts(sigma_E R)`` and of the *excluded*
+relation ``ts(R - sigma_E R)``, using decomposable aggregate states so the
+relation is scanned once.  With the cube in memory, the difference score
+``gamma(E)`` of any segment ``[p_j', p_j]`` is an O(1) lookup — exactly the
+pre-computation the paper assumes an interactive OLAP tool maintains.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.cube.explanations import CandidateSet, enumerate_candidates
+from repro.exceptions import ExplanationError
+from repro.relation.aggregates import AggregateFunction, get_aggregate
+from repro.relation.predicates import Conjunction
+from repro.relation.table import Relation
+from repro.relation.timeseries import TimeSeries
+
+
+class ExplanationCube:
+    """Aggregated time series for the overall query and every candidate.
+
+    Parameters
+    ----------
+    relation:
+        Source rows.
+    explain_by:
+        Explain-by attribute names ``A``.
+    measure:
+        Measure attribute ``M`` aggregated over time.
+    aggregate:
+        Aggregate function ``f`` (name or instance); must be subtractable
+        (SUM/COUNT/AVG/VAR) because the cube derives ``f(M, R - sigma_E R)``
+        by state subtraction.
+    time_attr:
+        Time attribute ``T``; defaults to the schema's time attribute.
+    max_order:
+        Order threshold ``beta_max`` for candidates (paper default 3).
+    deduplicate:
+        Drop containment-redundant conjunctions (see
+        :mod:`repro.cube.explanations`).
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        explain_by: Sequence[str],
+        measure: str,
+        aggregate: str | AggregateFunction = "sum",
+        time_attr: str | None = None,
+        max_order: int = 3,
+        deduplicate: bool = True,
+    ):
+        if isinstance(aggregate, str):
+            aggregate = get_aggregate(aggregate)
+        relation.schema.require_measure(measure)
+        time_positions, labels = relation.time_positions(time_attr)
+        values = relation.column(measure).astype(np.float64)
+        n_times = len(labels)
+
+        overall_state = aggregate.accumulate(values, time_positions, n_times)
+        candidates = enumerate_candidates(
+            relation, explain_by, max_order=max_order, deduplicate=deduplicate
+        )
+        included, excluded = _materialize_series(
+            candidates, values, time_positions, n_times, aggregate, overall_state
+        )
+
+        self._aggregate = aggregate
+        self._measure = measure
+        self._explain_by = tuple(sorted(explain_by))
+        self._labels: tuple[Hashable, ...] = labels
+        self._overall = aggregate.finalize(overall_state)
+        self._explanations = candidates.explanations
+        self._supports = candidates.supports
+        self._included = included
+        self._excluded = excluded
+        self._index = {conj: i for i, conj in enumerate(self._explanations)}
+
+    # ------------------------------------------------------------------
+    # Lightweight copy used by restrict()
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_arrays(
+        cls,
+        aggregate: AggregateFunction,
+        measure: str,
+        explain_by: tuple[str, ...],
+        labels: tuple[Hashable, ...],
+        overall: np.ndarray,
+        explanations: tuple[Conjunction, ...],
+        supports: np.ndarray,
+        included: np.ndarray,
+        excluded: np.ndarray,
+    ) -> "ExplanationCube":
+        cube = cls.__new__(cls)
+        cube._aggregate = aggregate
+        cube._measure = measure
+        cube._explain_by = explain_by
+        cube._labels = labels
+        cube._overall = overall
+        cube._explanations = explanations
+        cube._supports = supports
+        cube._included = included
+        cube._excluded = excluded
+        cube._index = {conj: i for i, conj in enumerate(explanations)}
+        return cube
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_explanations(self) -> int:
+        """Candidate count ``epsilon``."""
+        return len(self._explanations)
+
+    @property
+    def n_times(self) -> int:
+        """Time series length ``n``."""
+        return len(self._labels)
+
+    @property
+    def explanations(self) -> tuple[Conjunction, ...]:
+        return self._explanations
+
+    @property
+    def explain_by(self) -> tuple[str, ...]:
+        return self._explain_by
+
+    @property
+    def labels(self) -> tuple[Hashable, ...]:
+        return self._labels
+
+    @property
+    def supports(self) -> np.ndarray:
+        """Row counts per candidate."""
+        return self._supports
+
+    @property
+    def overall_values(self) -> np.ndarray:
+        """Aggregated values of the overall query, indexed by time position."""
+        return self._overall
+
+    @property
+    def included_values(self) -> np.ndarray:
+        """``(epsilon, n)`` matrix of ``f(M, sigma_E R)`` per time position."""
+        return self._included
+
+    @property
+    def excluded_values(self) -> np.ndarray:
+        """``(epsilon, n)`` matrix of ``f(M, R - sigma_E R)`` per time position."""
+        return self._excluded
+
+    def overall_series(self) -> TimeSeries:
+        """The aggregated time series ``ts(R)`` being explained."""
+        return TimeSeries(self._overall, self._labels)
+
+    def series(self, index: int) -> TimeSeries:
+        """The aggregated time series of candidate ``index``'s slice."""
+        return TimeSeries(self._included[index], self._labels)
+
+    def index_of(self, conjunction: Conjunction) -> int:
+        """Position of a candidate conjunction in the cube."""
+        try:
+            return self._index[conjunction]
+        except KeyError:
+            raise ExplanationError(f"{conjunction!r} is not a cube candidate") from None
+
+    # ------------------------------------------------------------------
+    # Difference-score primitives (consumed by repro.diff)
+    # ------------------------------------------------------------------
+    def overall_change(self, start: int, stop: int) -> float:
+        """``f(M, R_t) - f(M, R_c)`` over segment ``[p_start, p_stop]``."""
+        return float(self._overall[stop] - self._overall[start])
+
+    def signed_contributions(
+        self, start: int, stop: int, indices: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Signed change attributable to each candidate over a segment.
+
+        ``delta(E) = [f(R_t) - f(R_c)] - [f(R_t - sigma_E R_t) - f(R_c -
+        sigma_E R_c)]``; ``|delta|`` is the absolute-change score
+        (Definition 3.2) and ``sign(delta)`` the change effect ``tau``
+        (Definition 3.3).
+        """
+        overall_change = self._overall[stop] - self._overall[start]
+        if indices is None:
+            excluded_change = self._excluded[:, stop] - self._excluded[:, start]
+        else:
+            excluded_change = self._excluded[indices, stop] - self._excluded[indices, start]
+        return overall_change - excluded_change
+
+    def signed_contributions_many(
+        self, starts: np.ndarray, stops: np.ndarray
+    ) -> np.ndarray:
+        """``(epsilon, n_segments)`` matrix of signed contributions.
+
+        Row ``e``, column ``s`` holds ``delta(E_e)`` over the segment
+        ``[p_{starts[s]}, p_{stops[s]}]`` — the bulk form used by the
+        segmentation pipeline, where thousands of segments are scored at
+        once.
+        """
+        starts = np.asarray(starts, dtype=np.intp)
+        stops = np.asarray(stops, dtype=np.intp)
+        overall_change = self._overall[stops] - self._overall[starts]
+        excluded_change = self._excluded[:, stops] - self._excluded[:, starts]
+        return overall_change[None, :] - excluded_change
+
+    # ------------------------------------------------------------------
+    def restrict(self, keep: np.ndarray) -> "ExplanationCube":
+        """A cube containing only the candidates selected by ``keep``.
+
+        ``keep`` may be a boolean mask or an index array.  Used by the
+        support filter (section 7.5.1) and by tests.
+        """
+        keep = np.asarray(keep)
+        if keep.dtype == bool:
+            keep = np.flatnonzero(keep)
+        explanations = tuple(self._explanations[i] for i in keep)
+        return ExplanationCube._from_arrays(
+            aggregate=self._aggregate,
+            measure=self._measure,
+            explain_by=self._explain_by,
+            labels=self._labels,
+            overall=self._overall,
+            explanations=explanations,
+            supports=self._supports[keep],
+            included=self._included[keep],
+            excluded=self._excluded[keep],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplanationCube(epsilon={self.n_explanations}, n={self.n_times}, "
+            f"explain_by={list(self._explain_by)})"
+        )
+
+
+def _materialize_series(
+    candidates: CandidateSet,
+    values: np.ndarray,
+    time_positions: np.ndarray,
+    n_times: int,
+    aggregate: AggregateFunction,
+    overall_state: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Finalized included/excluded series for every candidate.
+
+    States are accumulated once per attribute *subset* (bucket id =
+    ``group_id * n_times + time_position``) and then sliced per candidate,
+    so the relation is scanned ``O(|subsets|)`` times, not ``O(epsilon)``.
+    """
+    per_subset_states: list[np.ndarray] = []
+    for group_ids in candidates.row_groups:
+        n_groups = int(group_ids.max()) + 1 if group_ids.size else 0
+        buckets = group_ids * n_times + time_positions
+        state = aggregate.accumulate(values, buckets, n_groups * n_times)
+        per_subset_states.append(
+            state.reshape(aggregate.n_components, n_groups, n_times)
+        )
+
+    n_candidates = len(candidates)
+    included = np.empty((n_candidates, n_times), dtype=np.float64)
+    excluded = np.empty((n_candidates, n_times), dtype=np.float64)
+    for position in range(n_candidates):
+        subset_pos = candidates.subset_index[position]
+        local_id = candidates.local_ids[position]
+        state = per_subset_states[subset_pos][:, local_id, :]
+        included[position] = aggregate.finalize(state)
+        excluded[position] = aggregate.finalize(aggregate.subtract(overall_state, state))
+    return included, excluded

@@ -1,0 +1,181 @@
+"""Candidate-explanation enumeration (Definition 3.1).
+
+Given explain-by attributes ``A`` and an order threshold ``beta_max``, the
+candidates are all conjunctions ``A_1=a_1 & ... & A_beta=a_beta`` with
+``beta <= beta_max`` that select at least one row of the relation.
+
+Containment deduplication
+-------------------------
+Hierarchical attributes (e.g. S&P 500's ``category -> subcategory -> stock``)
+make many conjunctions redundant: ``category=tech & subcategory=software``
+selects exactly the rows of ``subcategory=software``.  Keeping both would
+bias the cascading-analysts search and inflate ``epsilon``.  We drop any
+candidate whose support equals the support of one of its order-(beta-1)
+sub-conjunctions; this reproduces the paper's candidate counts (e.g.
+``epsilon = 610 = 11 + 96 + 503`` for S&P 500, Table 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ExplanationError
+from repro.relation.predicates import Conjunction
+from repro.relation.table import Relation
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """The enumerated candidates and their bookkeeping arrays.
+
+    Attributes
+    ----------
+    explanations:
+        Candidate conjunctions, deterministically ordered (by order, then by
+        attribute tuple, then by values).
+    group_ids:
+        For each candidate position, the dense row-bucket array mapping every
+        relation row to either the candidate-local group it belongs to or -1.
+        Stored per *attribute subset* (see ``subset_of``) to stay compact.
+    supports:
+        Total number of rows selected by each candidate.
+    """
+
+    explanations: tuple[Conjunction, ...]
+    supports: np.ndarray
+    row_groups: tuple[np.ndarray, ...]
+    subset_index: tuple[int, ...]
+    subsets: tuple[tuple[str, ...], ...]
+    local_ids: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.explanations)
+
+
+def _python_value(value: object) -> object:
+    return value.item() if hasattr(value, "item") else value
+
+
+def enumerate_candidates(
+    relation: Relation,
+    explain_by: Sequence[str],
+    max_order: int = 3,
+    deduplicate: bool = True,
+) -> CandidateSet:
+    """Enumerate candidate explanations present in ``relation``.
+
+    Parameters
+    ----------
+    relation:
+        Source rows.
+    explain_by:
+        Explain-by attribute names ``A`` (paper: user-specified or all
+        dimensions).
+    max_order:
+        Order threshold ``beta_max`` (paper default 3).
+    deduplicate:
+        Drop conjunctions whose row set equals a sub-conjunction's (see
+        module docstring).  The paper's candidate counts assume this.
+    """
+    if not explain_by:
+        raise ExplanationError("explain_by must name at least one attribute")
+    if len(set(explain_by)) != len(explain_by):
+        raise ExplanationError(f"explain_by repeats attributes: {explain_by}")
+    for name in explain_by:
+        relation.schema.require_dimension(name)
+    if max_order < 1:
+        raise ExplanationError(f"max_order must be >= 1, got {max_order}")
+    max_order = min(max_order, len(explain_by))
+
+    explanations: list[Conjunction] = []
+    supports: list[int] = []
+    row_groups: list[np.ndarray] = []
+    subsets: list[tuple[str, ...]] = []
+    subset_index: list[int] = []
+    local_ids: list[int] = []
+    support_lookup: dict[Conjunction, int] = {}
+
+    ordered_attrs = sorted(explain_by)
+    for order in range(1, max_order + 1):
+        for subset in itertools.combinations(ordered_attrs, order):
+            group_ids, representatives = _group_rows(relation, subset)
+            n_groups = representatives.shape[0]
+            counts = np.bincount(group_ids, minlength=n_groups)
+            subset_pos = len(subsets)
+            subsets.append(subset)
+            row_groups.append(group_ids)
+            columns = [relation.column(name) for name in subset]
+            for local_id in range(n_groups):
+                representative = representatives[local_id]
+                conjunction = Conjunction.from_items(
+                    (name, _python_value(columns[k][representative]))
+                    for k, name in enumerate(subset)
+                )
+                support = int(counts[local_id])
+                redundant = (
+                    deduplicate
+                    and order > 1
+                    and _is_redundant(conjunction, support, support_lookup)
+                )
+                # Record every candidate's support (including dropped ones) so
+                # that higher-order conjunctions can still detect redundancy
+                # through a chain of redundant intermediates.
+                support_lookup[conjunction] = support
+                if redundant:
+                    continue
+                explanations.append(conjunction)
+                supports.append(support)
+                subset_index.append(subset_pos)
+                local_ids.append(local_id)
+
+    return CandidateSet(
+        explanations=tuple(explanations),
+        supports=np.asarray(supports, dtype=np.int64),
+        row_groups=tuple(row_groups),
+        subset_index=tuple(subset_index),
+        subsets=tuple(subsets),
+        local_ids=tuple(local_ids),
+    )
+
+
+def _group_rows(
+    relation: Relation, subset: tuple[str, ...]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dense group ids over the distinct value combinations of ``subset``.
+
+    Returns ``(group_ids, representatives)`` where ``group_ids[i]`` is the
+    bucket of row ``i`` and ``representatives[g]`` is the first row index
+    belonging to bucket ``g``.  Works for any column dtype (including
+    Python objects) by factorizing one column at a time and re-densifying
+    the combined key, so intermediate keys never overflow.
+    """
+    n_rows = relation.n_rows
+    combined = np.zeros(n_rows, dtype=np.int64)
+    for name in subset:
+        values, codes = np.unique(relation.column(name), return_inverse=True)
+        key = combined * np.int64(len(values)) + codes.astype(np.int64).ravel()
+        _, combined = np.unique(key, return_inverse=True)
+        combined = combined.astype(np.int64).ravel()
+    _, representatives = np.unique(combined, return_index=True)
+    return combined.astype(np.intp), representatives.astype(np.intp)
+
+
+def _is_redundant(
+    conjunction: Conjunction, support: int, support_lookup: dict[Conjunction, int]
+) -> bool:
+    """True when some sub-conjunction selects exactly the same rows.
+
+    Because ``sigma_{E'} R \\supseteq sigma_E R`` whenever ``E'`` is a
+    sub-conjunction of ``E``, equal support implies equal row sets.
+    """
+    items = conjunction.items
+    for drop in range(len(items)):
+        sub = Conjunction.from_items(items[:drop] + items[drop + 1 :])
+        sub_support = support_lookup.get(sub)
+        if sub_support is not None and sub_support == support:
+            return True
+    return False

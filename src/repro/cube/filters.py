@@ -1,0 +1,35 @@
+"""Support filter over cube candidates (paper section 7.5.1, ``w filter``).
+
+"Given an explanation E, if each point in its aggregated time series has
+value smaller than a ratio of the corresponding value in the overall
+aggregated time series, we filter this explanation E as its support is low
+and thus insignificant."  The default ratio is 0.001, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cube.datacube import ExplanationCube
+
+#: Paper default filtering ratio.
+DEFAULT_FILTER_RATIO = 0.001
+
+
+def support_filter_mask(cube: ExplanationCube, ratio: float = DEFAULT_FILTER_RATIO) -> np.ndarray:
+    """Boolean mask of candidates that survive the support filter.
+
+    A candidate is dropped only when *every* point of its included series is
+    below ``ratio`` times the overall series (absolute values, so the filter
+    behaves identically for negative measures).
+    """
+    threshold = ratio * np.abs(cube.overall_values)[None, :]
+    below_everywhere = np.all(np.abs(cube.included_values) < threshold, axis=1)
+    return ~below_everywhere
+
+
+def apply_support_filter(
+    cube: ExplanationCube, ratio: float = DEFAULT_FILTER_RATIO
+) -> ExplanationCube:
+    """A new cube with low-support candidates removed."""
+    return cube.restrict(support_filter_mask(cube, ratio))

@@ -1,0 +1,35 @@
+"""Datasets: SNR-controlled synthetic suite and simulated real-world data."""
+
+from repro.datasets.base import Dataset, daily_labels, weekday_labels
+from repro.datasets.covid import STATES, load_covid, load_covid_daily, load_covid_total
+from repro.datasets.covid_deaths import load_covid_deaths
+from repro.datasets.liquor import load_liquor
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.datasets.sp500 import load_sp500
+from repro.datasets.synthetic import (
+    SNR_LEVELS,
+    SUITE_SIZE,
+    SyntheticDataset,
+    generate_synthetic,
+    synthetic_suite,
+)
+
+__all__ = [
+    "Dataset",
+    "SNR_LEVELS",
+    "STATES",
+    "SUITE_SIZE",
+    "SyntheticDataset",
+    "available_datasets",
+    "daily_labels",
+    "generate_synthetic",
+    "load_covid",
+    "load_covid_daily",
+    "load_covid_deaths",
+    "load_covid_total",
+    "load_dataset",
+    "load_liquor",
+    "load_sp500",
+    "synthetic_suite",
+    "weekday_labels",
+]

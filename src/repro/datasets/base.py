@@ -1,0 +1,83 @@
+"""Shared dataset container used by examples and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.relation.groupby import aggregate_over_time
+from repro.relation.table import Relation
+from repro.relation.timeseries import TimeSeries
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A ready-to-explain dataset.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (used by the registry and benchmark output).
+    relation:
+        The base relation ``R``.
+    measure:
+        Measure attribute of the aggregated query.
+    explain_by:
+        The explain-by attributes the paper uses for this dataset.
+    aggregate:
+        Aggregate function of the query.
+    description:
+        The paper's query, in SQL-ish form.
+    smoothing_window:
+        Moving-average window the paper applies before explaining
+        ("for very fuzzy datasets"), or ``None``.
+    """
+
+    name: str
+    relation: Relation
+    measure: str
+    explain_by: tuple[str, ...]
+    aggregate: str = "sum"
+    description: str = ""
+    smoothing_window: int | None = None
+    extras: dict = field(default_factory=dict, repr=False)
+
+    def series(self) -> TimeSeries:
+        """The aggregated time series of the dataset's query."""
+        return aggregate_over_time(self.relation, self.measure, self.aggregate)
+
+    @property
+    def n_times(self) -> int:
+        return len(self.series())
+
+
+def weekday_labels(start: tuple[int, int, int], stop: tuple[int, int, int], holidays: Sequence[tuple[int, int, int]] = ()) -> list[str]:
+    """ISO date labels of business days in ``[start, stop]`` (inclusive).
+
+    Weekends and the given holidays are skipped — the trading/sales
+    calendars of the S&P 500 and Liquor simulations.
+    """
+    import datetime as _dt
+
+    holiday_set = {_dt.date(*h) for h in holidays}
+    day = _dt.date(*start)
+    last = _dt.date(*stop)
+    labels = []
+    while day <= last:
+        if day.weekday() < 5 and day not in holiday_set:
+            labels.append(day.isoformat())
+        day += _dt.timedelta(days=1)
+    return labels
+
+
+def daily_labels(start: tuple[int, int, int], stop: tuple[int, int, int]) -> list[str]:
+    """ISO date labels of every calendar day in ``[start, stop]``."""
+    import datetime as _dt
+
+    day = _dt.date(*start)
+    last = _dt.date(*stop)
+    labels = []
+    while day <= last:
+        labels.append(day.isoformat())
+        day += _dt.timedelta(days=1)
+    return labels

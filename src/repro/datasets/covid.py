@@ -1,0 +1,176 @@
+"""Simulated COVID-19 confirmed-cases dataset (paper section 7.1.2).
+
+The paper uses the Johns Hopkins repository: daily and cumulative
+confirmed cases for 58 US states/territories over 2020-01-22..2020-12-31
+(n = 345 days).  That data is not available offline, so this module
+generates a deterministic simulation with the same schema, the same
+cardinalities, and the qualitative wave structure the paper's case study
+reports (section 7.4.1):
+
+* WA seeds the very first cases, NY/NJ/MA/CT drive the spring wave
+  (piecewise top explanations switch from WA/NY/CA to NY/NJ/MA around
+  mid-March),
+* IL and CA rise in late spring (the 5/4–5/29 segment),
+* FL/TX/CA dominate the summer wave,
+* IL/TX/WI lead the fall wave,
+* CA (with TX/FL and a NY resurgence) dominates the winter wave.
+
+Each state's daily series is a mixture of Gaussian-shaped waves plus
+multiplicative noise; cumulative cases are the running sums.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, daily_labels
+from repro.relation.schema import Schema
+from repro.relation.table import Relation
+
+#: 50 states + DC + PR + 6 further territories/repatriated groups = 58,
+#: matching the JHU state-level feed the paper uses.
+STATES = (
+    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+    "Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+    "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+    "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+    "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+    "New Hampshire", "New Jersey", "New Mexico", "New York",
+    "North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+    "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+    "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+    "West Virginia", "Wisconsin", "Wyoming", "District of Columbia",
+    "Puerto Rico", "Guam", "Virgin Islands", "Northern Mariana Islands",
+    "American Samoa", "Diamond Princess", "Grand Princess",
+)
+
+#: (state, peak day index, width in days, peak daily cases) wave script.
+#: Day 0 = 2020-01-22; the spring peak ~day 75 is early April, the summer
+#: peak ~day 170 mid July, the fall/winter peaks ~day 290-340.
+_WAVES: dict[str, tuple[tuple[int, int, float], ...]] = {
+    "Washington": ((40, 18, 350.0), (170, 35, 700.0), (320, 30, 2200.0)),
+    "New York": ((72, 16, 10000.0), (330, 28, 9500.0)),
+    "New Jersey": ((75, 16, 3800.0), (330, 28, 4200.0)),
+    "Massachusetts": ((78, 17, 2600.0), (332, 28, 3600.0)),
+    "Connecticut": ((77, 16, 1300.0), (330, 28, 1900.0)),
+    "Pennsylvania": ((80, 18, 1700.0), (325, 30, 6000.0)),
+    "Michigan": ((76, 15, 1600.0), (305, 25, 5500.0)),
+    "Illinois": ((118, 26, 2600.0), (295, 24, 10500.0)),
+    "California": ((125, 40, 2900.0), (185, 30, 8800.0), (340, 22, 35000.0)),
+    "Texas": ((172, 26, 9200.0), (300, 40, 13000.0)),
+    "Florida": ((175, 24, 10800.0), (335, 35, 9500.0)),
+    "Arizona": ((170, 22, 3400.0), (335, 30, 5200.0)),
+    "Georgia": ((178, 28, 3400.0), (330, 32, 5200.0)),
+    "Wisconsin": ((285, 24, 5800.0), (330, 30, 2800.0)),
+    "Minnesota": ((300, 22, 5400.0),),
+    "North Dakota": ((295, 20, 1400.0),),
+    "South Dakota": ((295, 22, 1300.0),),
+    "Indiana": ((305, 26, 5300.0),),
+    "Ohio": ((315, 26, 7800.0),),
+    "Tennessee": ((330, 26, 6200.0),),
+    "Louisiana": ((80, 14, 1300.0), (175, 25, 2400.0), (330, 30, 2300.0)),
+}
+
+#: Generic wave script for states without a bespoke entry: a modest summer
+#: wave and a larger winter wave, scaled by a per-state size factor.
+_GENERIC_WAVES = ((175, 30, 1.0), (320, 32, 2.6))
+
+
+def _wave(days: np.ndarray, peak: int, width: int, height: float) -> np.ndarray:
+    return height * np.exp(-0.5 * ((days - peak) / width) ** 2)
+
+
+def load_covid(seed: int = 7, noise: float = 0.08) -> Dataset:
+    """The simulated Covid dataset (both daily and cumulative measures).
+
+    Parameters
+    ----------
+    seed:
+        RNG seed for per-state size factors and day-to-day noise.
+    noise:
+        Multiplicative daily noise level (lognormal sigma); 0 disables.
+
+    Returns
+    -------
+    Dataset
+        Schema ``(date, state, daily_confirmed_cases,
+        total_confirmed_cases)``; the default measure is the cumulative
+        one.  Use ``dataset.extras["daily_measure"]`` for the daily query.
+    """
+    rng = np.random.default_rng(seed)
+    labels = daily_labels((2020, 1, 22), (2020, 12, 31))
+    n_days = len(labels)
+    days = np.arange(n_days, dtype=np.float64)
+
+    date_column: list[str] = []
+    state_column: list[str] = []
+    daily_column: list[float] = []
+    total_column: list[float] = []
+    for state in STATES:
+        if state in _WAVES:
+            waves = _WAVES[state]
+        else:
+            size = float(rng.uniform(150.0, 1400.0))
+            waves = tuple(
+                (peak + int(rng.integers(-12, 13)), width, size * scale)
+                for peak, width, scale in _GENERIC_WAVES
+            )
+        daily = np.zeros(n_days)
+        for peak, width, height in waves:
+            daily += _wave(days, peak, width, height)
+        if noise > 0:
+            daily *= rng.lognormal(0.0, noise, size=n_days)
+        daily = np.round(daily)
+        total = np.cumsum(daily)
+        date_column.extend(labels)
+        state_column.extend([state] * n_days)
+        daily_column.extend(daily.tolist())
+        total_column.extend(total.tolist())
+
+    schema = Schema.build(
+        dimensions=["state"],
+        measures=["daily_confirmed_cases", "total_confirmed_cases"],
+        time="date",
+    )
+    relation = Relation(
+        {
+            "date": np.asarray(date_column, dtype=object),
+            "state": np.asarray(state_column, dtype=object),
+            "daily_confirmed_cases": np.asarray(daily_column, dtype=np.float64),
+            "total_confirmed_cases": np.asarray(total_column, dtype=np.float64),
+        },
+        schema,
+    )
+    return Dataset(
+        name="covid",
+        relation=relation,
+        measure="total_confirmed_cases",
+        explain_by=("state",),
+        aggregate="sum",
+        description=(
+            "SELECT date, SUM(total_confirmed_cases) FROM Covid GROUP BY date"
+        ),
+        extras={"daily_measure": "daily_confirmed_cases", "states": STATES},
+    )
+
+
+def load_covid_total(seed: int = 7) -> Dataset:
+    """The ``total-confirmed-cases`` query (Figure 11)."""
+    return load_covid(seed)
+
+
+def load_covid_daily(seed: int = 7) -> Dataset:
+    """The ``daily-confirmed-cases`` query (Figure 12 / Table 3)."""
+    base = load_covid(seed)
+    return Dataset(
+        name="covid-daily",
+        relation=base.relation,
+        measure="daily_confirmed_cases",
+        explain_by=("state",),
+        aggregate="sum",
+        description=(
+            "SELECT date, SUM(daily_confirmed_cases) FROM Covid GROUP BY date"
+        ),
+        smoothing_window=7,
+        extras=base.extras,
+    )

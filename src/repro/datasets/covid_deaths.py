@@ -1,0 +1,111 @@
+"""Simulated CDC Covid-deaths dataset with a time-varying attribute (§8).
+
+The paper's Figure 18 explains weekly total deaths over weeks 14–52 of
+2021 by ``age-group`` (static) and ``vaccinated`` (time-varying: a person
+can move from NO to YES).  The reported result: before ~week 31 the top
+contributor is ``vaccinated=NO``; afterwards it shifts to
+``age-group=50+``.
+
+Simulation design.  For the cascading-analysts selection to switch drill
+dimension between the two periods, the two partitions must explain
+*different* amounts of change (with a complete partition of an additive
+measure, every drill explains exactly the overall change):
+
+* weeks 14–31 (vaccine roll-out): unvaccinated deaths fall steeply in all
+  age groups while vaccinated deaths *rise* slowly (an ever larger share
+  of the population is vaccinated).  Signs disagree across ``vaccinated``
+  but agree across ``age-group``, so the ``vaccinated`` drill explains
+  more and ``vaccinated=NO`` (-) tops the list.
+* weeks 31–52 (Delta wave): deaths of the 50+ group surge in both
+  vaccination statuses while the younger groups keep declining (they are
+  broadly vaccinated by then).  Now signs disagree across ``age-group``
+  and ``age-group=50+`` (+) tops the list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.relation.schema import Schema
+from repro.relation.table import Relation
+
+AGE_GROUPS = ("18-29", "30-49", "50+")
+VACCINATED = ("NO", "YES")
+
+FIRST_WEEK = 14
+LAST_WEEK = 52
+
+#: Baseline weekly deaths at week 14 for the declining unvaccinated series.
+_UNVAX_BASE = {"18-29": 750.0, "30-49": 1900.0, "50+": 2900.0}
+
+#: Starting level and weekly rise of the vaccinated series (roll-out).
+_VAX_BASE = {"18-29": 25.0, "30-49": 70.0, "50+": 320.0}
+_VAX_RAMP = {"18-29": 2.0, "30-49": 6.0, "50+": 22.0}
+
+#: Delta-wave peak amplitude (weeks ~36-40), concentrated in 50+.
+_WAVE_AMPLITUDE = {
+    ("18-29", "NO"): 120.0,
+    ("30-49", "NO"): 420.0,
+    ("50+", "NO"): 5200.0,
+    ("18-29", "YES"): 25.0,
+    ("30-49", "YES"): 110.0,
+    ("50+", "YES"): 2600.0,
+}
+
+
+def load_covid_deaths(seed: int = 3, noise: float = 0.03) -> Dataset:
+    """Weekly deaths by ``(age_group, vaccinated)`` for weeks 14–52, 2021."""
+    rng = np.random.default_rng(seed)
+    weeks = np.arange(FIRST_WEEK, LAST_WEEK + 1)
+    t = weeks.astype(np.float64)
+
+    decay = np.exp(-(t - FIRST_WEEK) / 9.0)  # roll-out decline
+    # Vaccinated baseline rises while roll-out lasts, saturating ~week 34.
+    ramp = np.minimum(t - FIRST_WEEK, 20.0)
+    wave = np.exp(-0.5 * ((t - 39.0) / 4.0) ** 2) + 0.55 * np.exp(
+        -0.5 * ((t - 51.0) / 4.0) ** 2
+    )
+
+    week_column: list[str] = []
+    age_column: list[str] = []
+    vax_column: list[str] = []
+    deaths_column: list[float] = []
+    for age in AGE_GROUPS:
+        for status in VACCINATED:
+            if status == "NO":
+                series = _UNVAX_BASE[age] * decay
+            else:
+                series = _VAX_BASE[age] + _VAX_RAMP[age] * ramp
+            series = series + _WAVE_AMPLITUDE[(age, status)] * wave
+            if noise > 0:
+                series = series * rng.lognormal(0.0, noise, size=t.shape[0])
+            series = np.round(np.maximum(series, 0.0))
+            for index, week in enumerate(weeks):
+                week_column.append(f"2021-W{week:02d}")
+                age_column.append(age)
+                vax_column.append(status)
+                deaths_column.append(float(series[index]))
+
+    schema = Schema.build(
+        dimensions=["age_group", "vaccinated"],
+        measures=["deaths"],
+        time="week",
+    )
+    relation = Relation(
+        {
+            "week": np.asarray(week_column, dtype=object),
+            "age_group": np.asarray(age_column, dtype=object),
+            "vaccinated": np.asarray(vax_column, dtype=object),
+            "deaths": np.asarray(deaths_column, dtype=np.float64),
+        },
+        schema,
+    )
+    return Dataset(
+        name="covid-deaths",
+        relation=relation,
+        measure="deaths",
+        explain_by=("age_group", "vaccinated"),
+        aggregate="sum",
+        description="SELECT week, SUM(deaths) FROM CovidDeaths GROUP BY week",
+    )

@@ -1,0 +1,37 @@
+"""Named dataset registry used by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import Dataset
+from repro.datasets.covid import load_covid_daily, load_covid_total
+from repro.datasets.covid_deaths import load_covid_deaths
+from repro.datasets.liquor import load_liquor
+from repro.datasets.sp500 import load_sp500
+from repro.exceptions import QueryError
+
+_LOADERS: dict[str, Callable[..., Dataset]] = {
+    "covid-total": load_covid_total,
+    "covid-daily": load_covid_daily,
+    "sp500": load_sp500,
+    "liquor": load_liquor,
+    "covid-deaths": load_covid_deaths,
+}
+
+
+def load_dataset(name: str, **kwargs) -> Dataset:
+    """Load a named dataset (``covid-total``, ``covid-daily``, ``sp500``,
+    ``liquor``, ``covid-deaths``)."""
+    try:
+        loader = _LOADERS[name]
+    except KeyError:
+        raise QueryError(
+            f"unknown dataset {name!r}; available: {sorted(_LOADERS)}"
+        ) from None
+    return loader(**kwargs)
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Names of all registered datasets."""
+    return tuple(sorted(_LOADERS))

@@ -1,0 +1,161 @@
+"""Simulated S&P 500 dataset (paper section 7.1.2).
+
+The paper tracks 503 component stocks from 2020-01-02 to 2020-10-01 with
+hierarchical explain-by attributes ``category`` (11 GICS-style sectors),
+``subcategory`` and ``stock``; the index is ``SUM(price * share) /
+divisor``.  Offline substitution: a deterministic factor model whose
+sector exposures reproduce the case-study story (section 7.4.2, Table 4):
+
+* rise into early February led by *technology* and the *internet retail*
+  subcategory while *energy* slips,
+* crash from ~2/19 to 3/23 led by technology, financials and
+  communication,
+* recovery from 3/24 to late August led by technology, consumer cyclical
+  and communication — financials notably do **not** bounce back,
+* pullback from ~8/25 into October led by technology again.
+
+Each stock's log price follows market + sector + subcategory factors plus
+idiosyncratic noise; free-float shares are constant over time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, weekday_labels
+from repro.relation.schema import Schema
+from repro.relation.table import Relation
+
+#: 11 GICS-style sectors with (number of subcategories, share-size scale).
+CATEGORIES: dict[str, tuple[int, float]] = {
+    "technology": (12, 3.2),
+    "financial": (10, 1.7),
+    "communication": (8, 2.2),
+    "healthcare": (10, 1.6),
+    "consumer cyclical": (10, 1.5),
+    "consumer defensive": (8, 1.2),
+    "industrials": (10, 1.1),
+    "energy": (6, 0.9),
+    "utilities": (7, 0.7),
+    "real estate": (7, 0.6),
+    "basic materials": (8, 0.8),
+}
+
+#: 2020 NYSE holidays inside the window.
+_HOLIDAYS = ((2020, 1, 20), (2020, 2, 17), (2020, 4, 10), (2020, 5, 25), (2020, 7, 3), (2020, 9, 7))
+
+#: Regime windows as ISO-date boundaries of the four phases in Table 4.
+PHASE_DATES = ("2020-01-02", "2020-02-06", "2020-03-24", "2020-08-25", "2020-10-01")
+
+#: Per-phase daily log-return drift by sector (market drift added on top).
+_SECTOR_DRIFT: dict[str, tuple[float, float, float, float]] = {
+    #                 rise     crash    recovery  pullback
+    "technology": (0.0045, -0.0290, 0.0062, -0.0075),
+    "financial": (0.0006, -0.0280, 0.0008, -0.0042),
+    "communication": (0.0022, -0.0230, 0.0040, -0.0055),
+    "healthcare": (0.0012, -0.0140, 0.0022, -0.0012),
+    "consumer cyclical": (0.0010, -0.0180, 0.0050, -0.0018),
+    "consumer defensive": (0.0006, -0.0110, 0.0014, -0.0006),
+    "industrials": (0.0008, -0.0190, 0.0020, -0.0014),
+    "energy": (-0.0045, -0.0260, 0.0006, -0.0020),
+    "utilities": (0.0004, -0.0150, 0.0010, -0.0006),
+    "real estate": (0.0006, -0.0190, 0.0012, -0.0010),
+    "basic materials": (0.0006, -0.0160, 0.0022, -0.0010),
+}
+
+#: Subcategory overrides: (category, subcategory index) -> extra drift.
+_INTERNET_RETAIL_EXTRA = (0.0075, 0.004, 0.0035, -0.002)
+
+N_STOCKS = 503
+DIVISOR = 8.34e9
+
+
+def _subcategory_name(category: str, index: int) -> str:
+    if category == "technology" and index == 0:
+        return "internet retail"
+    return f"{category.replace(' ', '-')}-{index + 1:02d}"
+
+
+def load_sp500(seed: int = 11, noise: float = 0.012) -> Dataset:
+    """The simulated S&P 500 dataset.
+
+    Returns a relation with schema ``(date, category, subcategory, stock,
+    cap)`` where ``cap = price * share / divisor``; the index is
+    ``SELECT date, SUM(cap) FROM Sp500 GROUP BY date``.
+    """
+    rng = np.random.default_rng(seed)
+    labels = weekday_labels((2020, 1, 2), (2020, 10, 1), _HOLIDAYS)
+    n_days = len(labels)
+    phase_starts = [
+        next(i for i, label in enumerate(labels) if label >= boundary)
+        for boundary in PHASE_DATES[:-1]
+    ]
+    phase_of_day = np.zeros(n_days, dtype=np.intp)
+    for phase, start in enumerate(phase_starts):
+        phase_of_day[start:] = phase
+
+    # Assign stocks round-robin over categories proportional to subcounts.
+    assignments: list[tuple[str, str]] = []
+    weights = np.asarray([subs for subs, _ in CATEGORIES.values()], dtype=np.float64)
+    shares_per_cat = np.maximum(
+        np.round(weights / weights.sum() * N_STOCKS).astype(int), 1
+    )
+    while shares_per_cat.sum() > N_STOCKS:
+        shares_per_cat[int(np.argmax(shares_per_cat))] -= 1
+    while shares_per_cat.sum() < N_STOCKS:
+        shares_per_cat[int(np.argmin(shares_per_cat))] += 1
+    for (category, (n_subs, _)), quota in zip(CATEGORIES.items(), shares_per_cat):
+        for i in range(quota):
+            assignments.append((category, _subcategory_name(category, i % n_subs)))
+
+    date_column: list[str] = []
+    category_column: list[str] = []
+    subcategory_column: list[str] = []
+    stock_column: list[str] = []
+    cap_column: list[float] = []
+    market_drift = np.asarray([0.0005, 0.0, 0.0012, 0.0])[phase_of_day]
+    for number, (category, subcategory) in enumerate(assignments):
+        stock = f"STK{number:03d}"
+        drift = np.asarray(_SECTOR_DRIFT[category])[phase_of_day] + market_drift
+        if subcategory == "internet retail":
+            drift = drift + np.asarray(_INTERNET_RETAIL_EXTRA)[phase_of_day]
+        returns = drift + rng.normal(0.0, noise, size=n_days)
+        log_price = np.cumsum(returns)
+        base_price = float(rng.uniform(20.0, 400.0))
+        price = base_price * np.exp(log_price - log_price[0])
+        size_scale = CATEGORIES[category][1]
+        share = float(rng.lognormal(np.log(3e8 * size_scale), 0.6))
+        cap = price * share / DIVISOR
+        date_column.extend(labels)
+        category_column.extend([category] * n_days)
+        subcategory_column.extend([subcategory] * n_days)
+        stock_column.extend([stock] * n_days)
+        cap_column.extend(cap.tolist())
+
+    schema = Schema.build(
+        dimensions=["category", "subcategory", "stock"],
+        measures=["cap"],
+        time="date",
+    )
+    relation = Relation(
+        {
+            "date": np.asarray(date_column, dtype=object),
+            "category": np.asarray(category_column, dtype=object),
+            "subcategory": np.asarray(subcategory_column, dtype=object),
+            "stock": np.asarray(stock_column, dtype=object),
+            "cap": np.asarray(cap_column, dtype=np.float64),
+        },
+        schema,
+    )
+    return Dataset(
+        name="sp500",
+        relation=relation,
+        measure="cap",
+        explain_by=("category", "subcategory", "stock"),
+        aggregate="sum",
+        description=(
+            "SELECT date, SUM(price*share)/divisor AS SP500-index "
+            "FROM Sp500 GROUP BY date"
+        ),
+        extras={"phases": PHASE_DATES},
+    )

@@ -1,0 +1,194 @@
+"""Synthetic datasets with ground-truth segmentation (paper section 4.2.1).
+
+Each dataset is a relation with schema ``(T, sales, category)`` and three
+categories ``a1, a2, a3``.  Every category's series is piecewise linear
+with alternating up/down trends between its private cutting points; the
+aggregated series is their sum, and the ground-truth segmentation of the
+aggregate is the *union* of the categories' cutting points (every cut is
+necessary because adjacent trends differ in direction).
+
+Gaussian noise is added to each category's series at a target
+signal-to-noise ratio in dB: ``sigma^2 = P_signal / 10^(SNR/10)`` with
+``P_signal`` the mean squared signal.  The paper's suite uses 20 datasets
+x 7 SNR levels (20, 25, ..., 50), series length 100, K between 2 and 10
+and segment lengths between 6 and 84 (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import QueryError
+from repro.relation.schema import Schema
+from repro.relation.table import Relation
+
+#: SNR levels of the paper's suite (section 4.2.1).
+SNR_LEVELS = (20, 25, 30, 35, 40, 45, 50)
+
+#: Number of random datasets per SNR level in the paper's suite.
+SUITE_SIZE = 20
+
+#: Minimum ground-truth segment length (Figure 4 shows lengths >= 6).
+MIN_SEGMENT_LENGTH = 6
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """A generated dataset with its ground truth.
+
+    Attributes
+    ----------
+    dataset:
+        The relation packaged with its query metadata.
+    boundaries:
+        Ground-truth segmentation boundaries (positions, endpoints
+        included).
+    category_series:
+        Noisy per-category series, keyed by category value (the dashed
+        lines of Figure 5).
+    clean_category_series:
+        The same series before noise.
+    snr_db:
+        The applied noise level.
+    seed:
+        RNG seed used.
+    """
+
+    dataset: Dataset
+    boundaries: tuple[int, ...]
+    category_series: dict[str, np.ndarray]
+    clean_category_series: dict[str, np.ndarray]
+    snr_db: float
+    seed: int
+
+    @property
+    def k(self) -> int:
+        """Ground-truth number of segments."""
+        return len(self.boundaries) - 1
+
+    @property
+    def cuts(self) -> tuple[int, ...]:
+        """Ground-truth interior cutting positions."""
+        return self.boundaries[1:-1]
+
+
+def _sample_union_cuts(rng: np.random.Generator, n_points: int) -> list[int]:
+    """Interior cuts with pairwise gaps >= MIN_SEGMENT_LENGTH, K in [2, 10]."""
+    for _ in range(1000):
+        k = int(rng.integers(2, 11))
+        n_cuts = k - 1
+        cuts = np.sort(
+            rng.choice(
+                np.arange(MIN_SEGMENT_LENGTH, n_points - MIN_SEGMENT_LENGTH),
+                size=n_cuts,
+                replace=False,
+            )
+        )
+        gaps = np.diff(np.concatenate([[0], cuts, [n_points - 1]]))
+        if gaps.min() >= MIN_SEGMENT_LENGTH:
+            return [int(c) for c in cuts]
+    raise QueryError("failed to sample ground-truth cuts")  # pragma: no cover
+
+
+def _piecewise_trend(
+    rng: np.random.Generator, n_points: int, cuts: list[int]
+) -> np.ndarray:
+    """A piecewise-linear series with alternating up/down trends at ``cuts``."""
+    boundaries = [0, *cuts, n_points - 1]
+    values = np.empty(n_points, dtype=np.float64)
+    level = float(rng.uniform(100.0, 400.0))
+    direction = 1.0 if rng.random() < 0.5 else -1.0
+    values[0] = level
+    for left, right in zip(boundaries, boundaries[1:]):
+        length = right - left
+        slope = direction * float(rng.uniform(3.0, 12.0))
+        for offset in range(1, length + 1):
+            values[left + offset] = values[left] + slope * offset
+        direction = -direction
+    # Keep counts positive: shift up if a downward run went below zero.
+    minimum = values.min()
+    if minimum < 10.0:
+        values += 10.0 - minimum
+    return values
+
+
+def generate_synthetic(
+    seed: int, snr_db: float, n_points: int = 100, n_categories: int = 3
+) -> SyntheticDataset:
+    """One synthetic dataset with ground truth (deterministic in ``seed``)."""
+    if n_points < 4 * MIN_SEGMENT_LENGTH:
+        raise QueryError(f"n_points too small: {n_points}")
+    if n_categories < 1:
+        raise QueryError(f"need at least one category, got {n_categories}")
+    rng = np.random.default_rng(seed)
+    union_cuts = _sample_union_cuts(rng, n_points)
+    # Partition the union cuts among categories (every cut belongs to
+    # exactly one category, so each stays necessary).
+    assignment = rng.integers(0, n_categories, size=len(union_cuts))
+    categories = [f"a{i + 1}" for i in range(n_categories)]
+
+    clean: dict[str, np.ndarray] = {}
+    noisy: dict[str, np.ndarray] = {}
+    for index, category in enumerate(categories):
+        own_cuts = [cut for cut, owner in zip(union_cuts, assignment) if owner == index]
+        signal = _piecewise_trend(rng, n_points, own_cuts)
+        power = float(np.mean(signal * signal))
+        sigma = float(np.sqrt(power / (10.0 ** (snr_db / 10.0))))
+        clean[category] = signal
+        noisy[category] = signal + rng.normal(0.0, sigma, size=n_points)
+
+    labels = [f"t{t:04d}" for t in range(n_points)]
+    columns = {
+        "T": np.asarray(
+            [label for label in labels for _ in categories], dtype=object
+        ),
+        "category": np.asarray(
+            [category for _ in labels for category in categories], dtype=object
+        ),
+        "sales": np.asarray(
+            [noisy[category][t] for t in range(n_points) for category in categories],
+            dtype=np.float64,
+        ),
+    }
+    schema = Schema.build(dimensions=["category"], measures=["sales"], time="T")
+    relation = Relation(columns, schema)
+    dataset = Dataset(
+        name=f"synthetic-seed{seed}-snr{snr_db:g}",
+        relation=relation,
+        measure="sales",
+        explain_by=("category",),
+        aggregate="sum",
+        description="SELECT T, count(sales) FROM R GROUP BY T",
+    )
+    return SyntheticDataset(
+        dataset=dataset,
+        boundaries=(0, *union_cuts, n_points - 1),
+        category_series=noisy,
+        clean_category_series=clean,
+        snr_db=float(snr_db),
+        seed=seed,
+    )
+
+
+def synthetic_suite(
+    n_datasets: int = SUITE_SIZE,
+    snr_levels: tuple[float, ...] = SNR_LEVELS,
+    n_points: int = 100,
+    base_seed: int = 20230101,
+) -> list[SyntheticDataset]:
+    """The paper's synthetic suite: ``n_datasets`` shapes x each SNR level.
+
+    The ``i``-th shape (cuts, trends) is identical across SNR levels — only
+    the noise realization differs — mirroring "we synthesize 20 datasets
+    with 7 different levels of SNR" (140 datasets total).
+    """
+    suite = []
+    for index in range(n_datasets):
+        for snr in snr_levels:
+            suite.append(
+                generate_synthetic(base_seed + index, snr, n_points=n_points)
+            )
+    return suite

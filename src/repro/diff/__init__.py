@@ -1,0 +1,24 @@
+"""Difference metrics and segment scoring (two-relations diff building block)."""
+
+from repro.diff.metrics import (
+    AbsoluteChange,
+    DifferenceMetric,
+    RelativeChange,
+    RiskRatio,
+    available_metrics,
+    change_effect,
+    get_metric,
+)
+from repro.diff.scorer import ScoredExplanation, SegmentScorer
+
+__all__ = [
+    "AbsoluteChange",
+    "DifferenceMetric",
+    "RelativeChange",
+    "RiskRatio",
+    "ScoredExplanation",
+    "SegmentScorer",
+    "available_metrics",
+    "change_effect",
+    "get_metric",
+]

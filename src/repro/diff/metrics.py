@@ -1,0 +1,114 @@
+"""Difference metrics ``gamma(E)`` and change effects ``tau(E)``.
+
+The diff framework [Abuzaid et al., VLDB'18] abstracts explanation quality
+behind a difference metric.  The paper evaluates with ``absolute-change``
+(Definition 3.2) and names ``relative-change`` and ``risk-ratio`` as other
+common choices; its conclusion lists "extending the difference metric
+library" as future work, so all three are implemented here behind one
+interface.
+
+All metrics are computed from the *signed contribution*
+
+    delta(E) = [f(R_t) - f(R_c)] - [f(R_t - sigma_E R_t) - f(R_c - sigma_E R_c)]
+
+supplied by the cube; the change effect is always ``tau(E) = sign(delta(E))``
+(Definition 3.3), independent of the metric.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ExplanationError
+
+#: Guard against division by zero in ratio-style metrics.
+_EPSILON = 1e-12
+
+
+class DifferenceMetric(abc.ABC):
+    """A difference metric mapping signed contributions to scores."""
+
+    #: registry key
+    name: str = ""
+
+    @abc.abstractmethod
+    def score(self, contributions: np.ndarray, overall_change: float) -> np.ndarray:
+        """Non-negative ``gamma`` scores for an array of signed contributions.
+
+        Parameters
+        ----------
+        contributions:
+            ``delta(E)`` for each candidate (any shape).
+        overall_change:
+            ``f(R_t) - f(R_c)`` of the same segment, available for
+            normalizing metrics.
+        """
+
+    def __repr__(self) -> str:
+        return f"<metric {self.name}>"
+
+
+class AbsoluteChange(DifferenceMetric):
+    """``gamma(E) = |delta(E)|`` (Definition 3.2) — the paper's default."""
+
+    name = "absolute-change"
+
+    def score(self, contributions: np.ndarray, overall_change: float) -> np.ndarray:
+        return np.abs(contributions)
+
+
+class RelativeChange(DifferenceMetric):
+    """Share of the overall change attributable to the slice.
+
+    ``gamma(E) = |delta(E)| / max(|f(R_t) - f(R_c)|, eps)``.  Ranks
+    identically to absolute-change within one segment but is comparable
+    across segments of very different magnitudes.
+    """
+
+    name = "relative-change"
+
+    def score(self, contributions: np.ndarray, overall_change: float) -> np.ndarray:
+        denominator = np.maximum(np.abs(overall_change), _EPSILON)
+        return np.abs(contributions) / denominator
+
+class RiskRatio(DifferenceMetric):
+    """Ratio of the slice's change against the rest of the data's change.
+
+    ``gamma(E) = |delta(E)| / (|f(R_t) - f(R_c) - delta(E)| + eps)`` — the
+    numerator is the slice's own change, the denominator the change of
+    ``R - sigma_E R``.  Values above 1 mean the slice moved more than
+    everything else combined.
+    """
+
+    name = "risk-ratio"
+
+    def score(self, contributions: np.ndarray, overall_change: float) -> np.ndarray:
+        rest_change = np.abs(overall_change - contributions)
+        return np.abs(contributions) / (rest_change + _EPSILON)
+
+
+def change_effect(contributions: np.ndarray) -> np.ndarray:
+    """Change effects ``tau(E) = sign(delta(E))`` in ``{-1, 0, +1}``."""
+    return np.sign(contributions)
+
+
+_REGISTRY: dict[str, DifferenceMetric] = {
+    metric.name: metric for metric in (AbsoluteChange(), RelativeChange(), RiskRatio())
+}
+
+
+def get_metric(name: str) -> DifferenceMetric:
+    """Look up a difference metric by name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ExplanationError(
+            f"unknown difference metric {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_metrics() -> tuple[str, ...]:
+    """Names of all registered difference metrics."""
+    return tuple(sorted(_REGISTRY))

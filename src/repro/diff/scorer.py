@@ -1,0 +1,124 @@
+"""Segment scoring: binds a cube to a difference metric.
+
+:class:`SegmentScorer` is the object every downstream module talks to — the
+cascading analysts algorithm pulls full ``gamma`` vectors per segment, the
+NDCG distance pulls ``gamma``/``tau`` for a handful of explanation indices,
+and the two-relation diff example ranks one segment's scores directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cube.datacube import ExplanationCube
+from repro.diff.metrics import DifferenceMetric, change_effect, get_metric
+from repro.exceptions import QueryError
+from repro.relation.predicates import Conjunction
+
+
+@dataclass(frozen=True)
+class ScoredExplanation:
+    """An explanation with its difference score and change effect."""
+
+    explanation: Conjunction
+    gamma: float
+    tau: int
+
+    @property
+    def effect_symbol(self) -> str:
+        """``+``/``-``/``0`` rendering of the change effect (paper tables)."""
+        return {1: "+", -1: "-", 0: "0"}[self.tau]
+
+    def __repr__(self) -> str:
+        return f"{self.explanation!r}({self.effect_symbol}, gamma={self.gamma:g})"
+
+
+class SegmentScorer:
+    """Difference scores of every cube candidate over arbitrary segments.
+
+    Parameters
+    ----------
+    cube:
+        The explanation cube of the query being explained.
+    metric:
+        Difference metric name or instance (default ``absolute-change``).
+    """
+
+    def __init__(self, cube: ExplanationCube, metric: str | DifferenceMetric = "absolute-change"):
+        if isinstance(metric, str):
+            metric = get_metric(metric)
+        self._cube = cube
+        self._metric = metric
+
+    @property
+    def cube(self) -> ExplanationCube:
+        return self._cube
+
+    @property
+    def metric(self) -> DifferenceMetric:
+        return self._metric
+
+    @property
+    def n_explanations(self) -> int:
+        return self._cube.n_explanations
+
+    def _check_segment(self, start: int, stop: int) -> None:
+        if not 0 <= start < stop < self._cube.n_times:
+            raise QueryError(
+                f"invalid segment [{start}, {stop}] for series of length "
+                f"{self._cube.n_times}"
+            )
+
+    def gamma(self, start: int, stop: int, indices: np.ndarray | None = None) -> np.ndarray:
+        """``gamma(E)`` for all (or selected) candidates over ``[p_start, p_stop]``."""
+        self._check_segment(start, stop)
+        contributions = self._cube.signed_contributions(start, stop, indices)
+        return self._metric.score(contributions, self._cube.overall_change(start, stop))
+
+    def tau(self, start: int, stop: int, indices: np.ndarray | None = None) -> np.ndarray:
+        """``tau(E)`` change effects over ``[p_start, p_stop]``."""
+        self._check_segment(start, stop)
+        return change_effect(self._cube.signed_contributions(start, stop, indices))
+
+    def gamma_tau(
+        self, start: int, stop: int, indices: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both ``gamma`` and ``tau`` in one cube access."""
+        self._check_segment(start, stop)
+        contributions = self._cube.signed_contributions(start, stop, indices)
+        scores = self._metric.score(contributions, self._cube.overall_change(start, stop))
+        return scores, change_effect(contributions)
+
+    def scored(self, index: int, start: int, stop: int) -> ScoredExplanation:
+        """A single candidate's :class:`ScoredExplanation` over a segment."""
+        selector = np.asarray([index])
+        contributions = self._cube.signed_contributions(start, stop, selector)
+        score = self._metric.score(contributions, self._cube.overall_change(start, stop))
+        return ScoredExplanation(
+            explanation=self._cube.explanations[index],
+            gamma=float(score[0]),
+            tau=int(np.sign(contributions[0])),
+        )
+
+    def rank_segment(self, start: int, stop: int, top: int | None = None) -> list[ScoredExplanation]:
+        """Candidates ranked by ``gamma`` descending (possibly overlapping).
+
+        This is the "top-m explanations" *without* the non-overlap
+        constraint — Definition 3.5's motivation notes that such a list can
+        double-count records; use :mod:`repro.ca` for the non-overlapping
+        version.  Ties break deterministically by candidate position.
+        """
+        scores, effects = self.gamma_tau(start, stop)
+        order = np.argsort(-scores, kind="stable")
+        if top is not None:
+            order = order[:top]
+        return [
+            ScoredExplanation(
+                explanation=self._cube.explanations[i],
+                gamma=float(scores[i]),
+                tau=int(effects[i]),
+            )
+            for i in order
+        ]

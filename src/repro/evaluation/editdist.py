@@ -1,0 +1,61 @@
+"""The ``distance percent`` accuracy metric (paper section 7.3).
+
+"We calculate the edit distance between outputs and ground truth.  Since
+different datasets have different segment number K and time series lengths
+n, we normalize our edit distance by K and n."
+
+Concretely: interior cuts of the prediction and of the ground truth are
+matched in sorted order (for equal-length sorted sequences this pairing
+minimizes the total displacement); each matched pair contributes its
+absolute position difference, and every unmatched cut (when a method
+returns fewer or more cuts) contributes the penalty ``n / K``.  The final
+score is ``100 * total / (K * n)`` — 0 means a perfect match, and lower is
+better.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import SegmentationError
+
+
+def _interior(boundaries: Sequence[int]) -> list[int]:
+    ordered = sorted(int(b) for b in boundaries)
+    if len(ordered) < 2:
+        raise SegmentationError(f"boundaries too short: {boundaries}")
+    return ordered[1:-1]
+
+
+def cut_displacement(
+    predicted: Sequence[int], truth: Sequence[int], n_points: int
+) -> float:
+    """Total displacement between two boundary lists (un-normalized).
+
+    Both lists include the endpoints; only interior cuts are compared.
+    """
+    predicted_cuts = _interior(predicted)
+    truth_cuts = _interior(truth)
+    k = len(truth_cuts) + 1
+    penalty = n_points / max(k, 1)
+    shared = min(len(predicted_cuts), len(truth_cuts))
+    # Order-preserving matching of the two sorted lists; the longer list's
+    # overhang is charged the insertion/deletion penalty.
+    total = float(
+        sum(
+            abs(p - t)
+            for p, t in zip(predicted_cuts[:shared], truth_cuts[:shared])
+        )
+    )
+    total += penalty * (len(predicted_cuts) + len(truth_cuts) - 2 * shared)
+    return total
+
+
+def distance_percent(
+    predicted: Sequence[int], truth: Sequence[int], n_points: int
+) -> float:
+    """Normalized cut displacement in percent (Figure 10's y-axis)."""
+    truth_cuts = _interior(truth)
+    k = len(truth_cuts) + 1
+    total = cut_displacement(predicted, truth, n_points)
+    return 100.0 * total / (k * n_points)

@@ -1,0 +1,106 @@
+"""Latency measurement helpers for the efficiency experiments (§7.5)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.baselines.base import Segmenter, attach_explanations
+from repro.core.config import ExplainConfig
+from repro.core.pipeline import ExplainPipeline
+from repro.datasets.base import Dataset
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Module-level latencies (seconds) of one configuration run."""
+
+    label: str
+    precomputation: float
+    cascading: float
+    segmentation: float
+    total: float
+    total_variance: float
+    k: int
+
+    def row(self) -> str:
+        """Fixed-width report row for benchmark output."""
+        return (
+            f"{self.label:<14s} pre={self.precomputation:7.3f}s "
+            f"ca={self.cascading:7.3f}s seg={self.segmentation:7.3f}s "
+            f"total={self.total:7.3f}s  K={self.k} var={self.total_variance:.4f}"
+        )
+
+
+def time_tsexplain(
+    dataset: Dataset, config: ExplainConfig, label: str
+) -> LatencyReport:
+    """Run TSExplain once and capture its per-module latency breakdown."""
+    pipeline = ExplainPipeline(
+        dataset.relation,
+        dataset.measure,
+        dataset.explain_by,
+        aggregate=dataset.aggregate,
+        config=config,
+    )
+    result = pipeline.run()
+    timings: Mapping[str, float] = result.timings
+    return LatencyReport(
+        label=label,
+        precomputation=timings["precomputation"],
+        cascading=timings["cascading"],
+        segmentation=timings["segmentation"],
+        total=timings["total"],
+        total_variance=result.total_variance,
+        k=result.k,
+    )
+
+
+@dataclass(frozen=True)
+class BaselineLatency:
+    """End-to-end latency of a baseline + explanation module (Figure 16)."""
+
+    label: str
+    segmentation: float
+    explanation: float
+
+    @property
+    def total(self) -> float:
+        return self.segmentation + self.explanation
+
+    def row(self) -> str:
+        return (
+            f"{self.label:<14s} seg={self.segmentation:7.3f}s "
+            f"expl={self.explanation:7.3f}s total={self.total:7.3f}s"
+        )
+
+
+def time_baseline(
+    dataset: Dataset, segmenter: Segmenter, k: int, config: ExplainConfig | None = None
+) -> BaselineLatency:
+    """Time a baseline segmentation plus the CA explanation step."""
+    config = config or ExplainConfig()
+    pipeline = ExplainPipeline(
+        dataset.relation,
+        dataset.measure,
+        dataset.explain_by,
+        aggregate=dataset.aggregate,
+        config=config,
+    )
+    scorer = pipeline.prepare()
+    series = scorer.cube.overall_series()
+
+    started = time.perf_counter()
+    boundaries = segmenter.segment(series.values, k)
+    segmentation_seconds = time.perf_counter() - started
+
+    solver = pipeline._build_solver(scorer)
+    started = time.perf_counter()
+    attach_explanations(scorer, solver, boundaries)
+    explanation_seconds = time.perf_counter() - started
+    return BaselineLatency(
+        label=segmenter.name,
+        segmentation=segmentation_seconds,
+        explanation=explanation_seconds,
+    )

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or an attribute reference is invalid."""
+
+
+class QueryError(ReproError):
+    """A relational operation received invalid arguments."""
+
+
+class AggregateError(ReproError):
+    """An aggregate function was used in an unsupported way.
+
+    The most common cause is asking a non-subtractable aggregate (``MIN``,
+    ``MAX``) to compute ``f(R - sigma_E R)`` by state subtraction, which the
+    data cube requires (paper section 5.2, "most aggregate functions are
+    decomposable").
+    """
+
+
+class ExplanationError(ReproError):
+    """Candidate-explanation enumeration or scoring failed."""
+
+
+class SegmentationError(ReproError):
+    """K-segmentation received an infeasible configuration.
+
+    Examples: ``K`` larger than the number of unit objects, a maximum
+    segment length that cannot cover the series, or an empty time series.
+    """
+
+
+class ConfigError(ReproError):
+    """An :class:`repro.core.config.ExplainConfig` value is out of range."""

@@ -1,0 +1,58 @@
+"""In-memory relational substrate: schemas, tables, predicates, aggregation.
+
+This package implements the group-by/aggregate machinery the paper assumes
+as infrastructure ("data cube is typically maintained in memory", section
+5.2) — TSExplain itself sits on top of it.
+"""
+
+from repro.relation.aggregates import (
+    AggregateFunction,
+    available_aggregates,
+    get_aggregate,
+)
+from repro.relation.csvio import read_csv, write_csv
+from repro.relation.groupby import aggregate_over_time, group_by
+from repro.relation.predicates import (
+    And,
+    Between,
+    Conjunction,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    Le,
+    Lt,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.relation.schema import Attribute, AttributeKind, Schema
+from repro.relation.table import Relation
+from repro.relation.timeseries import TimeSeries
+
+__all__ = [
+    "AggregateFunction",
+    "And",
+    "Attribute",
+    "AttributeKind",
+    "Between",
+    "Conjunction",
+    "Eq",
+    "Ge",
+    "Gt",
+    "In",
+    "Le",
+    "Lt",
+    "Not",
+    "Or",
+    "Predicate",
+    "Relation",
+    "Schema",
+    "TimeSeries",
+    "aggregate_over_time",
+    "available_aggregates",
+    "get_aggregate",
+    "group_by",
+    "read_csv",
+    "write_csv",
+]

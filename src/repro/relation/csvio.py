@@ -1,0 +1,62 @@
+"""CSV input/output for relations.
+
+Datasets in the paper are plain tables (Covid, S&P 500, Liquor); this module
+lets users load their own CSVs into a :class:`~repro.relation.table.Relation`
+and round-trip results back out, without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.relation.schema import Schema
+from repro.relation.table import Relation
+
+
+def read_csv(
+    path: str | Path,
+    dimensions: Sequence[str] = (),
+    measures: Sequence[str] = (),
+    time: str | None = None,
+) -> Relation:
+    """Load a CSV file into a relation.
+
+    Dimension and time columns are kept as strings; measure columns are
+    parsed as float64.  All named columns must exist in the header; any
+    unnamed CSV columns are dropped.
+    """
+    schema = Schema.build(dimensions=dimensions, measures=measures, time=time)
+    wanted = set(schema.names)
+    raw: dict[str, list[str]] = {name: [] for name in schema.names}
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        header = set(reader.fieldnames or ())
+        missing = wanted - header
+        if missing:
+            raise SchemaError(f"CSV {path} lacks columns {sorted(missing)}")
+        for row in reader:
+            for name in schema.names:
+                raw[name].append(row[name])
+    columns: dict[str, np.ndarray] = {}
+    for name in schema.names:
+        if name in measures:
+            columns[name] = np.asarray([float(v) for v in raw[name]], dtype=np.float64)
+        else:
+            columns[name] = np.asarray(raw[name], dtype=object)
+    return Relation(columns, schema)
+
+
+def write_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation to a CSV file with a header row."""
+    names = relation.schema.names
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        columns = [relation.column(name) for name in names]
+        for i in range(relation.n_rows):
+            writer.writerow([columns[j][i] for j in range(len(names))])

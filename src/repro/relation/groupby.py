@@ -1,0 +1,121 @@
+"""Group-by execution: the ``SELECT T, f(M) FROM R GROUP BY T`` engine.
+
+Two entry points:
+
+* :func:`group_by` — general grouped aggregation returning a new relation,
+  used for OLAP drill-down/roll-up in examples and tests.
+* :func:`aggregate_over_time` — the specialization producing an
+  :class:`~repro.relation.timeseries.TimeSeries`, which is the input of
+  every TSExplain query (Definition 3.6).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.relation.aggregates import AggregateFunction, get_aggregate
+from repro.relation.schema import Schema
+from repro.relation.table import Relation
+from repro.relation.timeseries import TimeSeries
+
+
+def _resolve(aggregate: str | AggregateFunction) -> AggregateFunction:
+    if isinstance(aggregate, AggregateFunction):
+        return aggregate
+    return get_aggregate(aggregate)
+
+
+def _group_codes(relation: Relation, keys: Sequence[str]) -> tuple[np.ndarray, list[tuple]]:
+    """Dense group ids plus the distinct key tuples, sorted lexicographically."""
+    if not keys:
+        raise QueryError("group_by requires at least one key")
+    per_key = [relation.encode(key) for key in keys]
+    cardinalities = [len(values) for _, values in per_key]
+    combined = np.zeros(relation.n_rows, dtype=np.intp)
+    for (codes, _), cardinality in zip(per_key, cardinalities):
+        combined = combined * cardinality + codes
+    unique_combined, group_ids = np.unique(combined, return_inverse=True)
+    # Decode each observed combined code back into one value per key.
+    group_keys: list[tuple] = []
+    for code in unique_combined:
+        parts = []
+        remainder = int(code)
+        for cardinality in reversed(cardinalities):
+            remainder, idx = divmod(remainder, cardinality)
+            parts.append(idx)
+        parts.reverse()
+        key_tuple = tuple(
+            per_key[i][1][parts[i]].item()
+            if hasattr(per_key[i][1][parts[i]], "item")
+            else per_key[i][1][parts[i]]
+            for i in range(len(keys))
+        )
+        group_keys.append(key_tuple)
+    return group_ids.astype(np.intp), group_keys
+
+
+def group_by(
+    relation: Relation,
+    keys: Sequence[str],
+    aggregations: Mapping[str, tuple[str | AggregateFunction, str]],
+) -> Relation:
+    """Grouped aggregation.
+
+    Parameters
+    ----------
+    relation:
+        Input rows.
+    keys:
+        Grouping attribute names (dimension or time attributes).
+    aggregations:
+        Mapping of output column name to ``(aggregate, measure)`` pairs,
+        e.g. ``{"total": ("sum", "sales")}``.  ``COUNT`` may use any column
+        as its measure.
+
+    Returns
+    -------
+    Relation
+        One row per distinct key combination, sorted by key, with the key
+        columns (as dimensions) followed by the aggregate outputs (as
+        measures).
+    """
+    group_ids, group_keys = _group_codes(relation, keys)
+    n_groups = len(group_keys)
+    columns: dict[str, np.ndarray] = {}
+    for position, key in enumerate(keys):
+        columns[key] = np.asarray([group_key[position] for group_key in group_keys])
+    out_names = []
+    for out_name, (aggregate, measure) in aggregations.items():
+        function = _resolve(aggregate)
+        state = function.accumulate(
+            relation.column(measure).astype(np.float64), group_ids, n_groups
+        )
+        columns[out_name] = function.finalize(state)
+        out_names.append(out_name)
+    schema = Schema.build(dimensions=keys, measures=out_names)
+    return Relation(columns, schema)
+
+
+def aggregate_over_time(
+    relation: Relation,
+    measure: str,
+    aggregate: str | AggregateFunction = "sum",
+    time_attr: str | None = None,
+) -> TimeSeries:
+    """The aggregated time series of a relation (Definition 3.6).
+
+    Equivalent to ``SELECT T, f(M) FROM R GROUP BY T ORDER BY T``; every
+    distinct timestamp becomes one point, ordered ascending.
+    """
+    if relation.n_rows == 0:
+        raise QueryError("cannot aggregate an empty relation over time")
+    relation.schema.require_measure(measure)
+    function = _resolve(aggregate)
+    positions, labels = relation.time_positions(time_attr)
+    state = function.accumulate(
+        relation.column(measure).astype(np.float64), positions, len(labels)
+    )
+    return TimeSeries(function.finalize(state), labels)

@@ -1,0 +1,159 @@
+"""Relation schemas: attribute names, kinds, and validation.
+
+The paper (section 3.1.2) models a relation ``R`` with dimension attributes
+``{D_i}`` and measure attributes ``{M_j}``, one of which is a time-related
+ordinal dimension ``T``.  :class:`Schema` captures exactly that three-way
+split and is attached to every :class:`repro.relation.table.Relation`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.exceptions import SchemaError
+
+
+class AttributeKind(enum.Enum):
+    """Role of an attribute inside a relation."""
+
+    DIMENSION = "dimension"
+    MEASURE = "measure"
+    TIME = "time"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    kind:
+        Whether the column is a grouping dimension, a numeric measure, or
+        the time dimension ``T``.
+    """
+
+    name: str
+    kind: AttributeKind
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+    @property
+    def is_dimension(self) -> bool:
+        """True for plain dimensions (the time attribute is not included)."""
+        return self.kind is AttributeKind.DIMENSION
+
+    @property
+    def is_measure(self) -> bool:
+        return self.kind is AttributeKind.MEASURE
+
+    @property
+    def is_time(self) -> bool:
+        return self.kind is AttributeKind.TIME
+
+
+class Schema:
+    """An ordered collection of :class:`Attribute` with unique names.
+
+    A valid schema for TSExplain queries has exactly one time attribute and
+    at least one measure, but schemas used for intermediate results (e.g.
+    group-by outputs) may relax that, so the constructor only enforces name
+    uniqueness; :meth:`require_time` and :meth:`require_measure` perform the
+    stricter checks at query time.
+    """
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        self._attributes: tuple[Attribute, ...] = tuple(attributes)
+        names = [attribute.name for attribute in self._attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        self._by_name = {attribute.name: attribute for attribute in self._attributes}
+
+    @classmethod
+    def build(
+        cls,
+        dimensions: Iterable[str] = (),
+        measures: Iterable[str] = (),
+        time: str | None = None,
+    ) -> "Schema":
+        """Convenience constructor from plain attribute-name lists."""
+        attributes = []
+        if time is not None:
+            attributes.append(Attribute(time, AttributeKind.TIME))
+        attributes.extend(Attribute(name, AttributeKind.DIMENSION) for name in dimensions)
+        attributes.extend(Attribute(name, AttributeKind.MEASURE) for name in measures)
+        return cls(attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{a.name}:{a.kind.value}" for a in self._attributes)
+        return f"Schema({parts})"
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All attribute names in schema order."""
+        return tuple(attribute.name for attribute in self._attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name, raising :class:`SchemaError` if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {sorted(self._by_name)}"
+            ) from None
+
+    def dimension_names(self) -> tuple[str, ...]:
+        """Names of plain (non-time) dimension attributes."""
+        return tuple(a.name for a in self._attributes if a.is_dimension)
+
+    def measure_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes if a.is_measure)
+
+    def time_name(self) -> str | None:
+        """Name of the time attribute, or ``None`` if the schema has none."""
+        for attribute in self._attributes:
+            if attribute.is_time:
+                return attribute.name
+        return None
+
+    def require_time(self) -> str:
+        """Name of the time attribute; raises if the schema has none."""
+        name = self.time_name()
+        if name is None:
+            raise SchemaError("schema has no time attribute")
+        return name
+
+    def require_measure(self, name: str) -> str:
+        """Validate that ``name`` refers to a measure attribute."""
+        if self.attribute(name).kind is not AttributeKind.MEASURE:
+            raise SchemaError(f"attribute {name!r} is not a measure")
+        return name
+
+    def require_dimension(self, name: str) -> str:
+        """Validate that ``name`` refers to a plain dimension attribute."""
+        if not self.attribute(name).is_dimension:
+            raise SchemaError(f"attribute {name!r} is not a dimension")
+        return name
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Sub-schema containing only ``names``, in the given order."""
+        return Schema(self.attribute(name) for name in names)

@@ -1,0 +1,126 @@
+"""Aggregated time series (Definition 3.6).
+
+A :class:`TimeSeries` is the result of ``SELECT T, f(M) FROM R GROUP BY T``:
+an ordered sequence of points ``p_i`` with timestamp label ``p_i.t`` and
+aggregated value ``p_i.v``.  Points are addressed by *position* throughout
+the segmentation code; labels are carried along for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+
+
+class TimeSeries:
+    """An ordered series of ``(label, value)`` points."""
+
+    __slots__ = ("_values", "_labels", "_label_to_pos")
+
+    def __init__(self, values: Sequence[float] | np.ndarray, labels: Sequence[Hashable] | None = None):
+        self._values = np.asarray(values, dtype=np.float64)
+        if self._values.ndim != 1:
+            raise QueryError(f"time series values must be 1-D, got {self._values.shape}")
+        n = self._values.shape[0]
+        if labels is None:
+            labels = range(n)
+        self._labels: tuple[Hashable, ...] = tuple(labels)
+        if len(self._labels) != n:
+            raise QueryError(
+                f"labels ({len(self._labels)}) and values ({n}) length mismatch"
+            )
+        self._label_to_pos = {label: pos for pos, label in enumerate(self._labels)}
+        if len(self._label_to_pos) != n:
+            raise QueryError("time series labels must be unique")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[Hashable, float]]) -> "TimeSeries":
+        """Build from ``(label, value)`` tuples."""
+        pairs = list(pairs)
+        return cls([v for _, v in pairs], [t for t, _ in pairs])
+
+    @property
+    def values(self) -> np.ndarray:
+        """The value array (do not mutate)."""
+        return self._values
+
+    @property
+    def labels(self) -> tuple[Hashable, ...]:
+        return self._labels
+
+    def __len__(self) -> int:
+        return self._values.shape[0]
+
+    def __getitem__(self, position: int) -> float:
+        return float(self._values[position])
+
+    def label_at(self, position: int) -> Hashable:
+        """Timestamp label of the point at ``position``."""
+        return self._labels[position]
+
+    def position_of(self, label: Hashable) -> int:
+        """Position of the point with the given timestamp label."""
+        try:
+            return self._label_to_pos[label]
+        except KeyError:
+            raise QueryError(f"label {label!r} not in time series") from None
+
+    def window(self, start: int, stop: int) -> "TimeSeries":
+        """Sub-series for positions ``[start, stop]`` (both inclusive)."""
+        if not 0 <= start <= stop < len(self):
+            raise QueryError(f"invalid window [{start}, {stop}] for length {len(self)}")
+        return TimeSeries(self._values[start : stop + 1], self._labels[start : stop + 1])
+
+    def change(self, start: int, stop: int) -> float:
+        """``p_stop.v - p_start.v`` (the endpoint change over a segment)."""
+        return float(self._values[stop] - self._values[start])
+
+    def __add__(self, other: "TimeSeries") -> "TimeSeries":
+        self._check_aligned(other)
+        return TimeSeries(self._values + other._values, self._labels)
+
+    def __sub__(self, other: "TimeSeries") -> "TimeSeries":
+        self._check_aligned(other)
+        return TimeSeries(self._values - other._values, self._labels)
+
+    def scale(self, factor: float) -> "TimeSeries":
+        """Pointwise multiplication by a scalar."""
+        return TimeSeries(self._values * factor, self._labels)
+
+    def cumulative(self) -> "TimeSeries":
+        """Running sum of the series (e.g. daily -> total confirmed cases)."""
+        return TimeSeries(np.cumsum(self._values), self._labels)
+
+    def diff(self) -> "TimeSeries":
+        """First difference, keeping length by prepending the first value."""
+        values = np.empty_like(self._values)
+        values[0] = self._values[0]
+        values[1:] = np.diff(self._values)
+        return TimeSeries(values, self._labels)
+
+    def _check_aligned(self, other: "TimeSeries") -> None:
+        if self._labels != other._labels:
+            raise QueryError("time series are not aligned (different labels)")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return self._labels == other._labels and np.array_equal(self._values, other._values)
+
+    def __hash__(self) -> int:  # pragma: no cover - TimeSeries is not hashable
+        raise TypeError("TimeSeries is mutable-array backed and unhashable")
+
+    def __repr__(self) -> str:
+        n = len(self)
+        if n <= 4:
+            body = ", ".join(f"{t}:{v:g}" for t, v in zip(self._labels, self._values))
+        else:
+            body = (
+                f"{self._labels[0]}:{self._values[0]:g}, ... , "
+                f"{self._labels[-1]}:{self._values[-1]:g}"
+            )
+        return f"TimeSeries[{n}]({body})"

@@ -1,0 +1,35 @@
+"""K-Segmentation: explanation-aware variance, DP, elbow K selection, sketching."""
+
+from repro.segmentation.distance import (
+    ALLPAIR_VARIANTS,
+    VARIANTS,
+    combine_ndcg,
+    dcg_cross,
+    dcg_weights,
+    explanation_distance,
+    ideal_dcg,
+    ndcg,
+)
+from repro.segmentation.dp import SegmentationScheme, solve_k_segmentation
+from repro.segmentation.kselect import MAX_SEGMENTS, elbow_point, k_variance_curve
+from repro.segmentation.sketch import default_sketch_parameters, select_sketch
+from repro.segmentation.variance import SegmentationCosts
+
+__all__ = [
+    "ALLPAIR_VARIANTS",
+    "MAX_SEGMENTS",
+    "SegmentationCosts",
+    "SegmentationScheme",
+    "VARIANTS",
+    "combine_ndcg",
+    "dcg_cross",
+    "dcg_weights",
+    "default_sketch_parameters",
+    "elbow_point",
+    "explanation_distance",
+    "ideal_dcg",
+    "k_variance_curve",
+    "ndcg",
+    "select_sketch",
+    "solve_k_segmentation",
+]

@@ -1,0 +1,68 @@
+"""Exhaustive K-segmentation oracle used to validate the DP in tests."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.exceptions import SegmentationError
+
+
+def exhaustive_best_segmentation(
+    cost: np.ndarray, k: int
+) -> tuple[tuple[int, ...], float]:
+    """Minimal-cost scheme by trying every combination of cut positions.
+
+    Returns ``(boundaries, total_cost)``.  Exponential in ``k`` — tests
+    only.
+    """
+    n_points = cost.shape[0]
+    if not 1 <= k <= n_points - 1:
+        raise SegmentationError(f"infeasible K={k} for {n_points} points")
+    best_boundaries: tuple[int, ...] | None = None
+    best_cost = np.inf
+    for cuts in itertools.combinations(range(1, n_points - 1), k - 1):
+        boundaries = (0, *cuts, n_points - 1)
+        total = 0.0
+        for left, right in zip(boundaries, boundaries[1:]):
+            total += cost[left, right]
+            if total >= best_cost:
+                break
+        if total < best_cost:
+            best_cost = total
+            best_boundaries = boundaries
+    if best_boundaries is None or not np.isfinite(best_cost):
+        raise SegmentationError("no feasible segmentation found")
+    return best_boundaries, float(best_cost)
+
+
+def random_schemes(
+    n_points: int, k: int, count: int, rng: np.random.Generator
+) -> list[tuple[int, ...]]:
+    """Uniformly sampled K-segmentation schemes (boundaries incl. endpoints).
+
+    Used by the ground-truth-rank protocol of section 4.2.2, which samples
+    10 000 random schemes from the huge ``P_K`` space.
+    """
+    if not 1 <= k <= n_points - 1:
+        raise SegmentationError(f"infeasible K={k} for {n_points} points")
+    interior = n_points - 2
+    schemes: list[tuple[int, ...]] = []
+    n_possible = None
+    try:
+        import math
+
+        n_possible = math.comb(interior, k - 1)
+    except (ImportError, ValueError):  # pragma: no cover
+        n_possible = None
+    if n_possible is not None and n_possible <= count:
+        # Small space: enumerate instead of sampling with replacement.
+        return [
+            (0, *cuts, n_points - 1)
+            for cuts in itertools.combinations(range(1, n_points - 1), k - 1)
+        ]
+    for _ in range(count):
+        cuts = np.sort(rng.choice(np.arange(1, n_points - 1), size=k - 1, replace=False))
+        schemes.append((0, *map(int, cuts), n_points - 1))
+    return schemes

@@ -1,0 +1,64 @@
+"""Optimal selection of ``K`` by the elbow method (paper section 6).
+
+The paper normalizes the K-variance curve to the unit square and picks the
+"elbow point" with the task-agnostic Kneedle algorithm [Satopaa et al.,
+ICDCSW'11].  For a decreasing curve, Kneedle flips it to the increasing
+difference curve ``(1 - y_hat(K))`` and takes the K maximizing
+``(1 - y_hat(K)) - x_hat(K)`` — equivalently, minimizing
+``y_hat(K) + x_hat(K)``.  (The paper's inline formula ``argmax
+[total_var(K) - K]`` would always return K=1 on a decreasing normalized
+curve; we implement the cited Kneedle behaviour, which reproduces the
+paper's reported selections, e.g. K=6 for Covid total cases.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SegmentationError
+
+#: User-perception cap on the number of segments (paper section 6).
+MAX_SEGMENTS = 20
+
+
+def elbow_point(k_values: Sequence[int], total_costs: Sequence[float]) -> int:
+    """The elbow ``K*`` of a K-variance curve.
+
+    Parameters
+    ----------
+    k_values:
+        Candidate segment counts (ascending).
+    total_costs:
+        Total within-segment variance ``D(n, K)`` for each candidate.
+
+    Returns
+    -------
+    int
+        The selected ``K*``.  Degenerate curves (fewer than three points or
+        zero range) fall back to the smallest ``K``.
+    """
+    k_array = np.asarray(k_values, dtype=np.float64)
+    cost_array = np.asarray(total_costs, dtype=np.float64)
+    if k_array.shape != cost_array.shape or k_array.ndim != 1:
+        raise SegmentationError("k_values and total_costs must be 1-D and aligned")
+    if k_array.shape[0] == 0:
+        raise SegmentationError("empty K-variance curve")
+    if k_array.shape[0] < 3:
+        return int(k_array[0])
+    k_span = k_array[-1] - k_array[0]
+    cost_span = cost_array.max() - cost_array.min()
+    if k_span <= 0 or cost_span <= 0:
+        return int(k_array[0])
+    x_hat = (k_array - k_array[0]) / k_span
+    y_hat = (cost_array - cost_array.min()) / cost_span
+    difference = (1.0 - y_hat) - x_hat
+    return int(k_array[int(np.argmax(difference))])
+
+
+def k_variance_curve(schemes: Sequence) -> tuple[list[int], list[float]]:
+    """Extract the ``(K, total variance)`` curve from DP schemes."""
+    ks = [scheme.k for scheme in schemes]
+    costs = [scheme.total_cost for scheme in schemes]
+    return ks, costs

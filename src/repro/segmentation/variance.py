@@ -1,0 +1,465 @@
+"""Within-segment variance and bulk segment-cost precomputation (Eq. 7).
+
+The K-segmentation DP needs ``cost(a, b) = |P| * var(P)`` for every
+candidate segment ``P = [p_a, p_b]``.  :class:`SegmentationCosts`
+precomputes that entire matrix:
+
+1. score every *unit object* ``[p_x, p_x+1]`` and every candidate segment
+   with the cascading-analysts solver (module b of the pipeline);
+2. evaluate the NDCG-based distance between each object and its segment's
+   centroid (Eqs. 3–6) — vectorized across the objects of a segment;
+3. for the ``allpair`` variance structures (Eq. 10), precompute the full
+   object-pair distance matrix once and reduce any segment's variance to a
+   2-D prefix-sum lookup.
+
+Restricted cut grids
+--------------------
+Sketching (section 5.3.2) re-runs the pipeline with candidate *cutting
+positions* restricted to the sketch, but the within-segment variance is
+still measured over **full-resolution unit objects** — the paper's phase-II
+complexity ``O(m * |S|^2 * n)`` carries the factor ``n`` for exactly this
+reason.  ``cut_positions`` therefore only restricts where segments may
+start and end; objects are always the consecutive point pairs of the
+underlying series.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.ca.cascade import TopMResult
+from repro.diff.scorer import SegmentScorer
+from repro.exceptions import SegmentationError
+from repro.segmentation.distance import (
+    ALLPAIR_VARIANTS,
+    VARIANTS,
+    dcg_weights,
+    pad_results,
+)
+
+
+class TopMSolver(Protocol):
+    """Anything that maps a gamma matrix to per-segment top-m results."""
+
+    def solve_batch(self, gammas: np.ndarray) -> list[TopMResult]:  # pragma: no cover
+        ...
+
+
+class SegmentationCosts:
+    """Precomputed ``|P| * var(P)`` for all candidate segments.
+
+    Parameters
+    ----------
+    scorer:
+        Difference scorer over the query's explanation cube.
+    solver:
+        Top-m solver (:class:`~repro.ca.cascade.CascadingAnalysts` or
+        :class:`~repro.ca.guess_verify.GuessAndVerify`).
+    m:
+        Explanation quota per segment (paper default 3).
+    variant:
+        Variance design, one of
+        :data:`repro.segmentation.distance.VARIANTS` (paper default
+        ``tse``).
+    cut_positions:
+        Sorted original time positions where segments may start/end
+        (default: every point).  Only the cut grid shrinks — the variance
+        of a segment is always a sum over the full-resolution unit objects
+        it covers.  Reduced indices used throughout the public API index
+        into this array.
+    max_length:
+        When given, only segments spanning at most this many original time
+        steps get a finite cost — the phase-I constraint of sketching.
+    segments:
+        When given, costs are computed only for these reduced ``(i, j)``
+        pairs.  The resulting cost matrix is *not* suitable for the DP —
+        this mode exists for evaluating a fixed scheme (Table 7) and for
+        targeted queries.
+    """
+
+    def __init__(
+        self,
+        scorer: SegmentScorer,
+        solver: TopMSolver,
+        m: int = 3,
+        variant: str = "tse",
+        cut_positions: Sequence[int] | np.ndarray | None = None,
+        max_length: int | None = None,
+        segments: Sequence[tuple[int, int]] | None = None,
+    ):
+        if variant not in VARIANTS:
+            raise SegmentationError(
+                f"unknown variance variant {variant!r}; use one of {VARIANTS}"
+            )
+        n_times = scorer.cube.n_times
+        if n_times < 2:
+            raise SegmentationError("need a series of at least two points")
+        if cut_positions is None:
+            cut_positions = np.arange(n_times, dtype=np.intp)
+        else:
+            cut_positions = np.asarray(cut_positions, dtype=np.intp)
+        if cut_positions.ndim != 1 or cut_positions.shape[0] < 2:
+            raise SegmentationError("cut_positions must be a 1-D array of >= 2 points")
+        if np.any(np.diff(cut_positions) <= 0):
+            raise SegmentationError("cut_positions must be strictly increasing")
+        if cut_positions[0] < 0 or cut_positions[-1] >= n_times:
+            raise SegmentationError(
+                f"cut_positions out of range for a series of length {n_times}"
+            )
+        if max_length is not None and max_length < int(np.diff(cut_positions).max()):
+            raise SegmentationError(
+                "max_length smaller than the widest gap between cut positions; "
+                "no valid segmentation exists"
+            )
+
+        self._scorer = scorer
+        self._solver = solver
+        self._m = m
+        self._variant = variant
+        self._positions = cut_positions
+        self._max_length = max_length
+        self._only_segments = (
+            None
+            if segments is None
+            else sorted({(int(i), int(j)) for i, j in segments})
+        )
+        self._n_points = cut_positions.shape[0]
+        self._n_units = n_times - 1
+        self._weights = dcg_weights(m)
+        self.timings: dict[str, float] = {
+            "precompute": 0.0,
+            "cascading": 0.0,
+            "segmentation": 0.0,
+        }
+
+        started = time.perf_counter()
+        self._prepare_units()
+        self.timings["precompute"] += time.perf_counter() - started
+
+        self._results: dict[tuple[int, int], TopMResult] = {}
+        self._cost = np.full((self._n_points, self._n_points), np.inf, dtype=np.float64)
+        np.fill_diagonal(self._cost, 0.0)
+        if variant in ALLPAIR_VARIANTS:
+            self._fill_costs_allpair()
+        else:
+            self._fill_costs_centroid()
+
+    # ------------------------------------------------------------------
+    # Public accessors
+    # ------------------------------------------------------------------
+    @property
+    def variant(self) -> str:
+        return self._variant
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Original time positions of the cut grid."""
+        return self._positions
+
+    @property
+    def n_points(self) -> int:
+        """Number of cut-grid points (``N``); the DP may place ``N - 1`` cuts."""
+        return self._n_points
+
+    @property
+    def cost_matrix(self) -> np.ndarray:
+        """``(N, N)`` matrix of ``|P| * var(P)``; ``inf`` marks disallowed."""
+        return self._cost
+
+    def cost(self, start: int, stop: int) -> float:
+        """``|P| * var(P)`` for the reduced segment ``[start, stop]``."""
+        if not 0 <= start < stop < self._n_points:
+            raise SegmentationError(
+                f"invalid reduced segment [{start}, {stop}] for {self._n_points} points"
+            )
+        return float(self._cost[start, stop])
+
+    def variance(self, start: int, stop: int) -> float:
+        """``var(P)`` (Eq. 7 / Eq. 10) for the reduced segment.
+
+        The normalizer is the number of unit objects the segment covers,
+        i.e. its span in original time steps.
+        """
+        span = int(self._positions[stop] - self._positions[start])
+        return self.cost(start, stop) / span
+
+    def total_cost(self, boundaries: Sequence[int]) -> float:
+        """Objective value ``sum |P_i| var(P_i)`` of a segmentation scheme.
+
+        ``boundaries`` are reduced cut-grid indices including both
+        endpoints, e.g. ``[0, 3, 7, N-1]`` for a 3-segment scheme.
+        """
+        boundaries = list(boundaries)
+        if boundaries[0] != 0 or boundaries[-1] != self._n_points - 1:
+            raise SegmentationError("boundaries must start at 0 and end at N-1")
+        total = 0.0
+        for left, right in zip(boundaries, boundaries[1:]):
+            total += self.cost(left, right)
+        return total
+
+    def unit_result(self, index: int) -> TopMResult:
+        """Top-m result of the ``index``-th full-resolution unit object."""
+        return self._unit_results[index]
+
+    def segment_result(self, start: int, stop: int) -> TopMResult:
+        """Top-m result of a reduced segment (lazily computed if needed)."""
+        key = (int(start), int(stop))
+        result = self._results.get(key)
+        if result is None:
+            result = self._solve_segments(
+                np.asarray([self._positions[key[0]]]),
+                np.asarray([self._positions[key[1]]]),
+            )[0]
+            self._results[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Unit-object preparation (always full resolution)
+    # ------------------------------------------------------------------
+    def _prepare_units(self) -> None:
+        cube = self._scorer.cube
+        metric = self._scorer.metric
+        starts = np.arange(self._n_units, dtype=np.intp)
+        stops = starts + 1
+        self._overall_change_unit = (
+            cube.overall_values[stops] - cube.overall_values[starts]
+        )
+        delta_unit = cube.signed_contributions_many(starts, stops)
+        self._gamma_unit = metric.score(delta_unit, self._overall_change_unit[None, :])
+        self._tau_unit = np.sign(delta_unit).astype(np.int8)
+
+        ca_started = time.perf_counter()
+        unit_results = self._solver.solve_batch(self._gamma_unit.T)
+        self.timings["cascading"] += time.perf_counter() - ca_started
+
+        self._unit_results = [
+            result.with_context(
+                taus=tuple(
+                    int(self._tau_unit[index, x]) for index in result.indices
+                ),
+                source_segment=(int(starts[x]), int(stops[x])),
+            )
+            for x, result in enumerate(unit_results)
+        ]
+        self._unit_idx, self._unit_gamma, self._unit_tau, self._unit_valid = pad_results(
+            self._unit_results, self._m
+        )
+        self._ideal_unit = self._unit_gamma @ self._weights
+
+    # ------------------------------------------------------------------
+    # Segment solving helpers
+    # ------------------------------------------------------------------
+    def _segment_pairs(self) -> list[tuple[int, int]]:
+        """Reduced ``(i, j)`` pairs needing a cost, honouring constraints.
+
+        Pairs spanning exactly one unit object are excluded — their cost is
+        0 by definition and their result is the unit's.
+        """
+        if self._only_segments is not None:
+            return [
+                (i, j)
+                for i, j in self._only_segments
+                if self._positions[j] - self._positions[i] > 1
+            ]
+        pairs: list[tuple[int, int]] = []
+        for i in range(self._n_points - 1):
+            for j in range(i + 1, self._n_points):
+                span = self._positions[j] - self._positions[i]
+                if self._max_length is not None and span > self._max_length:
+                    break
+                if span > 1:
+                    pairs.append((i, j))
+        return pairs
+
+    def _solve_segments(
+        self, starts: np.ndarray, stops: np.ndarray
+    ) -> list[TopMResult]:
+        """Solve top-m for segments given by original-position arrays."""
+        cube = self._scorer.cube
+        metric = self._scorer.metric
+        delta = cube.signed_contributions_many(starts, stops)
+        overall_change = cube.overall_values[stops] - cube.overall_values[starts]
+        gammas = metric.score(delta, overall_change[None, :])
+        ca_started = time.perf_counter()
+        results = self._solver.solve_batch(gammas.T)
+        self.timings["cascading"] += time.perf_counter() - ca_started
+        annotated = []
+        for column, result in enumerate(results):
+            taus = tuple(int(np.sign(delta[index, column])) for index in result.indices)
+            annotated.append(
+                result.with_context(
+                    taus=taus,
+                    source_segment=(int(starts[column]), int(stops[column])),
+                )
+            )
+        return annotated
+
+    # ------------------------------------------------------------------
+    # Centroid-structured variants (tse, dist1, dist2, S-variants)
+    # ------------------------------------------------------------------
+    def _fill_costs_centroid(self) -> None:
+        pairs = self._segment_pairs()
+        # Single-object segments cost 0 by definition: the object is its
+        # own centroid.
+        for i in range(self._n_points - 1):
+            for j in range(i + 1, self._n_points):
+                if self._positions[j] - self._positions[i] == 1:
+                    self._cost[i, j] = 0.0
+                    self._results[(i, j)] = self._unit_results[int(self._positions[i])]
+
+        epsilon = max(self._scorer.cube.n_explanations, 1)
+        chunk = int(np.clip(32_000_000 // (8 * epsilon), 64, 8192))
+        for offset in range(0, len(pairs), chunk):
+            block = pairs[offset : offset + chunk]
+            starts = self._positions[np.asarray([i for i, _ in block], dtype=np.intp)]
+            stops = self._positions[np.asarray([j for _, j in block], dtype=np.intp)]
+            results = self._solve_segments(starts, stops)
+            distance_started = time.perf_counter()
+            for (i, j), result in zip(block, results):
+                self._results[(i, j)] = result
+                self._cost[i, j] = self._centroid_cost(i, j, result)
+            self.timings["segmentation"] += time.perf_counter() - distance_started
+
+    def _centroid_cost(self, i: int, j: int, centroid: TopMResult) -> float:
+        """``sum_x dist(object_x, centroid)`` over the covered unit objects."""
+        weights = self._weights
+        start_pos = int(self._positions[i])
+        stop_pos = int(self._positions[j])
+        span = slice(start_pos, stop_pos)
+        n_objects = stop_pos - start_pos
+
+        # --- NDCG(object_x, E*(centroid)) per object ----------------------
+        if centroid.indices:
+            c_idx = np.asarray(centroid.indices, dtype=np.intp)
+            c_tau = np.asarray(centroid.taus, dtype=np.int8)
+            rel = self._gamma_unit[c_idx][:, span]  # (m_c, L)
+            agree = self._tau_unit[c_idx][:, span] == c_tau[:, None]
+            numerator = (rel * agree).T @ weights[: c_idx.shape[0]]  # (L,)
+        else:
+            numerator = np.zeros(n_objects)
+        ideal = self._ideal_unit[span]
+        centroid_explains_obj = np.ones(n_objects)
+        positive = ideal > 0.0
+        centroid_explains_obj[positive] = np.minimum(
+            numerator[positive] / ideal[positive], 1.0
+        )
+
+        # --- NDCG(centroid, E*(object_x)) per object ----------------------
+        ideal_centroid = (
+            float(np.dot(centroid.gammas, weights[: len(centroid.gammas)]))
+            if centroid.gammas
+            else 0.0
+        )
+        if ideal_centroid > 0.0:
+            cube = self._scorer.cube
+            overall_change = (
+                cube.overall_values[stop_pos] - cube.overall_values[start_pos]
+            )
+            obj_idx = self._unit_idx[span]  # (L, m)
+            excluded = cube.excluded_values
+            delta = overall_change - (
+                excluded[obj_idx, stop_pos] - excluded[obj_idx, start_pos]
+            )
+            rel = self._scorer.metric.score(delta, overall_change)
+            agree = np.sign(delta).astype(np.int8) == self._unit_tau[span]
+            masked = rel * agree * self._unit_valid[span]
+            numerator_back = masked @ weights
+            obj_explains_centroid = np.minimum(numerator_back / ideal_centroid, 1.0)
+        else:
+            obj_explains_centroid = np.ones(n_objects)
+
+        # combine_ndcg convention: first argument is NDCG(P_i, E*(P_j))
+        # with P_i the centroid (Eq. 8).
+        return float(
+            np.sum(self._combine(obj_explains_centroid, centroid_explains_obj))
+        )
+
+    # ------------------------------------------------------------------
+    # All-pair variants (Eq. 10)
+    # ------------------------------------------------------------------
+    def _fill_costs_allpair(self) -> None:
+        distance_started = time.perf_counter()
+        n_units = self._n_units
+        # ndcg_pair[x, y] = NDCG(object_x, E*(object_y)) for all unit pairs.
+        rel = self._gamma_unit[self._unit_idx]  # (n_units, m, n_units): [y, r, x]
+        agree = self._tau_unit[self._unit_idx] == self._unit_tau[:, :, None]
+        masked = rel * agree * self._unit_valid[:, :, None]
+        numerator = np.einsum("yrx,r->yx", masked, self._weights)
+        ndcg_pair = np.ones((n_units, n_units))
+        positive = self._ideal_unit > 0.0
+        ndcg_pair[positive, :] = np.minimum(
+            numerator.T[positive, :] / self._ideal_unit[positive, None], 1.0
+        )
+        pair_distance = self._combine(ndcg_pair, ndcg_pair.T)
+        np.fill_diagonal(pair_distance, 0.0)
+
+        # 2-D prefix sums make every segment's pair total an O(1) lookup.
+        prefix = np.zeros((n_units + 1, n_units + 1))
+        prefix[1:, 1:] = np.cumsum(np.cumsum(pair_distance, axis=0), axis=1)
+        requested = (
+            None if self._only_segments is None else set(self._only_segments)
+        )
+        for i in range(self._n_points - 1):
+            for j in range(i + 1, self._n_points):
+                lo = int(self._positions[i])
+                hi = int(self._positions[j])
+                span = hi - lo
+                if self._max_length is not None and span > self._max_length:
+                    break
+                if requested is not None and (i, j) not in requested and span > 1:
+                    continue
+                if span == 1:
+                    self._cost[i, j] = 0.0
+                    continue
+                block = prefix[hi, hi] - prefix[lo, hi] - prefix[hi, lo] + prefix[lo, lo]
+                n_pairs = span * (span - 1) / 2.0
+                variance = (block / 2.0) / n_pairs
+                self._cost[i, j] = span * variance
+        self.timings["segmentation"] += time.perf_counter() - distance_started
+
+    # ------------------------------------------------------------------
+    def _combine(self, forward: np.ndarray, backward: np.ndarray) -> np.ndarray:
+        """Vectorized :func:`repro.segmentation.distance.combine_ndcg`."""
+        variant = self._variant
+        if variant in ("tse", "allpair"):
+            return 1.0 - (forward + backward) / 2.0
+        if variant == "dist1":
+            return 1.0 - forward
+        if variant == "dist2":
+            return 1.0 - backward
+        if variant in ("Stse", "Sallpair"):
+            return 1.0 - np.sqrt((forward * forward + backward * backward) / 2.0)
+        if variant == "Sdist1":
+            return 1.0 - forward * forward
+        return 1.0 - backward * backward
+
+
+def scheme_total_variance(
+    scorer: SegmentScorer,
+    solver: TopMSolver,
+    boundaries: Sequence[int],
+    m: int = 3,
+    variant: str = "tse",
+) -> tuple[float, list[float]]:
+    """Full-resolution objective of a fixed segmentation scheme.
+
+    ``boundaries`` are *original* time positions (endpoints included).
+    Only the scheme's own segments are scored, so this stays cheap even
+    when the scheme came from a sketch-restricted search — it is how the
+    optimization-quality comparison (Table 7) evaluates Vanilla and O1+O2
+    on equal footing.
+
+    Returns ``(total, per_segment_variances)``.
+    """
+    pairs = list(zip(boundaries, boundaries[1:]))
+    costs = SegmentationCosts(scorer, solver, m=m, variant=variant, segments=pairs)
+    per_segment = [costs.variance(i, j) for i, j in pairs]
+    total = sum(costs.cost(i, j) for i, j in pairs)
+    return float(total), per_segment

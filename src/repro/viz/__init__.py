@@ -1,0 +1,20 @@
+"""Text visualization: ASCII charts and explanation tables."""
+
+from repro.viz.ascii_chart import ascii_chart, sparkline
+from repro.viz.report import (
+    explanation_table,
+    full_report,
+    k_variance_table,
+    segment_sparklines,
+    segmentation_chart,
+)
+
+__all__ = [
+    "ascii_chart",
+    "explanation_table",
+    "full_report",
+    "k_variance_table",
+    "segment_sparklines",
+    "segmentation_chart",
+    "sparkline",
+]

@@ -1,0 +1,90 @@
+"""Terminal-friendly ASCII rendering of time series and segmentations.
+
+The paper's interface returns trendline visualizations (Figure 2); in this
+offline reproduction the same information is rendered as text so examples
+and benchmarks can show their output anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.relation.timeseries import TimeSeries
+
+
+def ascii_chart(
+    series: TimeSeries,
+    cuts: Sequence[int] = (),
+    width: int = 78,
+    height: int = 12,
+    marker: str = "*",
+) -> str:
+    """Render a series as an ASCII chart with optional cut markers.
+
+    Parameters
+    ----------
+    series:
+        The series to draw.
+    cuts:
+        Positions to mark with vertical bars (segment boundaries).
+    width / height:
+        Canvas size in characters.
+    marker:
+        Character used for data points.
+    """
+    if width < 8 or height < 3:
+        raise QueryError("chart needs width >= 8 and height >= 3")
+    values = series.values
+    n = len(series)
+    if n == 0:
+        return "(empty series)"
+    lo = float(values.min())
+    hi = float(values.max())
+    span = hi - lo if hi > lo else 1.0
+    columns = np.minimum((np.arange(n) * width) // max(n - 1, 1), width - 1)
+    rows = ((values - lo) / span * (height - 1)).round().astype(int)
+
+    canvas = [[" "] * width for _ in range(height)]
+    cut_columns = {int(columns[min(c, n - 1)]) for c in cuts if 0 <= c < n}
+    for column in cut_columns:
+        for row in range(height):
+            canvas[row][column] = "|"
+    for position in range(n):
+        canvas[height - 1 - rows[position]][columns[position]] = marker
+
+    label_width = 10
+    lines = []
+    for row in range(height):
+        if row == 0:
+            label = f"{hi:>{label_width}.4g} "
+        elif row == height - 1:
+            label = f"{lo:>{label_width}.4g} "
+        else:
+            label = " " * (label_width + 1)
+        lines.append(label + "".join(canvas[row]))
+    first = str(series.label_at(0))
+    last = str(series.label_at(n - 1))
+    footer = " " * (label_width + 1) + first + " " * max(width - len(first) - len(last), 1) + last
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """One-line unicode sparkline of a value array."""
+    blocks = "▁▂▃▄▅▆▇█"
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        # Downsample by averaging buckets.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.asarray(
+            [values[a:b].mean() if b > a else values[min(a, values.size - 1)] for a, b in zip(edges, edges[1:])]
+        )
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo if hi > lo else 1.0
+    indices = ((values - lo) / span * (len(blocks) - 1)).round().astype(int)
+    return "".join(blocks[i] for i in indices)

@@ -1,0 +1,74 @@
+"""Tabular reports of explanation results (the paper's Tables 3–5)."""
+
+from __future__ import annotations
+
+from repro.core.result import ExplainResult
+from repro.viz.ascii_chart import ascii_chart, sparkline
+
+
+def explanation_table(result: ExplainResult, max_explanations: int = 3) -> str:
+    """Render an :class:`ExplainResult` as a Table 3/4/5-style text table.
+
+    Columns: segment window, then ``Top-r Expl`` with the change effect
+    appended (``+``/``-``), exactly like the paper's tables.
+    """
+    header = ["Segment"] + [f"Top-{r + 1} Expl" for r in range(max_explanations)]
+    rows: list[list[str]] = [header]
+    for segment in result.segments:
+        cells = [f"{segment.start_label} ~ {segment.stop_label}"]
+        for rank in range(max_explanations):
+            if rank < len(segment.explanations):
+                scored = segment.explanations[rank]
+                cells.append(f"{scored.explanation!r} {scored.effect_symbol}")
+            else:
+                cells.append("-")
+        rows.append(cells)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def k_variance_table(result: ExplainResult) -> str:
+    """The K-variance curve with the elbow marked (Figures 11–14, left)."""
+    lines = ["K   total variance"]
+    for k, cost in result.k_variance_curve.items():
+        star = "  <- elbow" if k == result.k and result.k_was_auto else ""
+        lines.append(f"{k:<3d} {cost:14.4f}{star}")
+    return "\n".join(lines)
+
+
+def segmentation_chart(result: ExplainResult) -> str:
+    """The explained series with the chosen cuts marked (Figure 2 style)."""
+    return ascii_chart(result.series, cuts=result.cuts)
+
+
+def full_report(result: ExplainResult) -> str:
+    """Chart + explanation table + K-variance curve, ready to print."""
+    parts = [
+        segmentation_chart(result),
+        "",
+        explanation_table(result),
+        "",
+        k_variance_table(result),
+    ]
+    return "\n".join(parts)
+
+
+def segment_sparklines(result: ExplainResult) -> str:
+    """Per-segment sparkline of the overall series (compact Figure 2)."""
+    values = result.series.values
+    lines = []
+    for segment in result.segments:
+        window = values[segment.start : segment.stop + 1]
+        lines.append(
+            f"{str(segment.start_label):>12s} ~ {str(segment.stop_label):<12s} "
+            f"{sparkline(window, 40)}  "
+            + ", ".join(
+                f"{s.explanation!r}({s.effect_symbol})" for s in segment.explanations
+            )
+        )
+    return "\n".join(lines)

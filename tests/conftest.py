@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relation.schema import Schema
+from repro.relation.table import Relation
+
+
+def build_relation(columns: dict, dimensions, measures, time=None) -> Relation:
+    """Shorthand relation constructor used across the tests."""
+    schema = Schema.build(dimensions=dimensions, measures=measures, time=time)
+    return Relation(columns, schema)
+
+
+def regime_relation(n: int = 24, switch: int = 12) -> Relation:
+    """Three categories; 'a' drives growth before ``switch``, 'b' after.
+
+    The ground-truth explanation-aware segmentation has one cut exactly at
+    ``switch`` and the top contributor changes from a to b there.
+    """
+    rows = {"t": [], "cat": [], "sales": []}
+    for t in range(n):
+        for cat in ("a", "b", "c"):
+            if cat == "a":
+                v = 10.0 + (4.0 * t if t < switch else 4.0 * switch)
+            elif cat == "b":
+                v = 10.0 + (0.0 if t < switch else 5.0 * (t - switch))
+            else:
+                v = 7.0
+            rows["t"].append(f"t{t:03d}")
+            rows["cat"].append(cat)
+            rows["sales"].append(v)
+    return build_relation(rows, dimensions=["cat"], measures=["sales"], time="t")
+
+
+def two_attr_relation(n: int = 16) -> Relation:
+    """Two explain-by attributes with a conjunction-level driver.
+
+    ``(a=x & b=p)`` grows in the first half; ``(a=z & b=q)`` in the second.
+    """
+    rows = {"t": [], "a": [], "b": [], "m": []}
+    half = n // 2
+    for t in range(n):
+        for a in ("x", "y", "z"):
+            for b in ("p", "q"):
+                v = 3.0
+                if (a, b) == ("x", "p") and t < half:
+                    v += 6.0 * t
+                if (a, b) == ("x", "p") and t >= half:
+                    v += 6.0 * (half - 1)
+                if (a, b) == ("z", "q") and t >= half:
+                    v += 7.0 * (t - half)
+                rows["t"].append(f"t{t:03d}")
+                rows["a"].append(a)
+                rows["b"].append(b)
+                rows["m"].append(v)
+    return build_relation(rows, dimensions=["a", "b"], measures=["m"], time="t")
+
+
+@pytest.fixture
+def simple_relation() -> Relation:
+    return regime_relation()
+
+
+@pytest.fixture
+def multi_relation() -> Relation:
+    return two_attr_relation()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20230613)

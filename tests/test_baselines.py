@@ -1,0 +1,102 @@
+"""Tests for the explanation-agnostic baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import attach_explanations
+from repro.baselines.bottomup import BottomUpSegmenter, interpolation_error
+from repro.baselines.fluss import FlussSegmenter, corrected_arc_curve
+from repro.baselines.nnsegment import NNSegmenter, novelty_curve
+from repro.baselines import all_baselines
+from repro.ca.cascade import CascadingAnalysts, DrillDownTree
+from repro.cube.datacube import ExplanationCube
+from repro.diff.scorer import SegmentScorer
+from repro.exceptions import SegmentationError
+from tests.conftest import regime_relation
+
+
+def piecewise(rng=None, breaks=(40, 70), n=100, noise=0.2):
+    rng = rng or np.random.default_rng(0)
+    xs = [np.linspace(0, 10, breaks[0])]
+    xs.append(np.linspace(10, -5, breaks[1] - breaks[0]))
+    xs.append(np.linspace(-5, 20, n - breaks[1]))
+    values = np.concatenate(xs)
+    return values + rng.normal(0, noise, n)
+
+
+@pytest.mark.parametrize("segmenter", all_baselines(), ids=lambda s: s.name)
+def test_boundaries_are_valid(segmenter):
+    values = piecewise()
+    for k in (1, 2, 3, 5):
+        boundaries = segmenter.segment(values, k)
+        assert boundaries[0] == 0
+        assert boundaries[-1] == len(values) - 1
+        assert list(boundaries) == sorted(set(boundaries))
+        assert len(boundaries) == k + 1
+
+
+@pytest.mark.parametrize("segmenter", all_baselines(), ids=lambda s: s.name)
+def test_invalid_k_rejected(segmenter):
+    with pytest.raises(SegmentationError):
+        segmenter.segment(np.zeros(10), 0)
+    with pytest.raises(SegmentationError):
+        segmenter.segment(np.zeros(10), 10)
+
+
+def test_bottomup_finds_clear_breaks():
+    boundaries = BottomUpSegmenter().segment(piecewise(noise=0.0), 3)
+    assert abs(boundaries[1] - 39) <= 2
+    assert abs(boundaries[2] - 69) <= 2
+
+
+def test_interpolation_error_zero_for_line():
+    values = np.linspace(0, 9, 10)
+    assert interpolation_error(values, 0, 9) == pytest.approx(0.0)
+    bent = values.copy()
+    bent[5] += 3.0
+    assert interpolation_error(bent, 0, 9) > 0
+
+
+def test_bottomup_full_resolution_identity():
+    values = np.asarray([1.0, 5.0, 2.0, 8.0])
+    assert BottomUpSegmenter().segment(values, 3) == (0, 1, 2, 3)
+
+
+def test_corrected_arc_curve_range():
+    indices = np.asarray([3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8])
+    cac = corrected_arc_curve(indices, window=2)
+    assert cac.min() >= 0.0
+    assert cac.max() <= 1.0
+
+
+def test_fluss_dips_at_regime_change():
+    # Two alternating regimes with different frequencies.
+    t = np.arange(400, dtype=np.float64)
+    values = np.where(t < 200, np.sin(t / 4.0), np.sin(t / 20.0))
+    boundaries = FlussSegmenter(window=20).segment(values, 2)
+    assert abs(boundaries[1] - 200) < 40
+
+
+def test_novelty_curve_peaks_at_break():
+    values = np.concatenate([np.zeros(30), np.linspace(0, 30, 30)])
+    scores = novelty_curve(values, window=8)
+    assert 22 <= int(np.argmax(scores)) <= 38
+
+
+def test_nnsegment_detects_break():
+    boundaries = NNSegmenter(window=10).segment(piecewise(noise=0.0), 3)
+    interior = boundaries[1:-1]
+    assert any(abs(c - 39) <= 6 for c in interior)
+    assert any(abs(c - 69) <= 6 for c in interior)
+
+
+def test_attach_explanations_labels_each_segment():
+    relation = regime_relation()
+    cube = ExplanationCube(relation, ["cat"], "sales")
+    scorer = SegmentScorer(cube)
+    solver = CascadingAnalysts(DrillDownTree(cube.explanations), m=3)
+    segments = attach_explanations(scorer, solver, [0, 12, 23])
+    assert len(segments) == 2
+    assert repr(segments[0].explanations[0].explanation) == "cat=a"
+    assert repr(segments[1].explanations[0].explanation) == "cat=b"
+    assert segments[0].start_label == "t000"

@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.relation.csvio import write_csv
+from tests.conftest import regime_relation
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "kpi.csv"
+    write_csv(regime_relation(), path)
+    return str(path)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_explain_csv(capsys, csv_path):
+    code, out, _ = run_cli(
+        capsys,
+        "explain",
+        "--csv", csv_path,
+        "--time", "t",
+        "--dimensions", "cat",
+        "--measure", "sales",
+        "--k", "2",
+        "--vanilla",
+    )
+    assert code == 0
+    assert "cat=a" in out and "cat=b" in out
+    assert "K=2" in out
+
+
+def test_explain_report_styles(capsys, csv_path):
+    for report in ("full", "table", "sparklines"):
+        code, out, _ = run_cli(
+            capsys,
+            "explain",
+            "--csv", csv_path,
+            "--time", "t",
+            "--dimensions", "cat",
+            "--measure", "sales",
+            "--k", "2",
+            "--vanilla",
+            "--report", report,
+        )
+        assert code == 0
+        assert out.strip()
+
+
+def test_explain_window(capsys, csv_path):
+    code, out, _ = run_cli(
+        capsys,
+        "explain",
+        "--csv", csv_path,
+        "--time", "t",
+        "--dimensions", "cat",
+        "--measure", "sales",
+        "--k", "2",
+        "--vanilla",
+        "--start", "t006",
+        "--stop", "t018",
+    )
+    assert code == 0
+    assert "t006" in out
+
+
+def test_diff_command(capsys, csv_path):
+    code, out, _ = run_cli(
+        capsys,
+        "diff",
+        "--csv", csv_path,
+        "--time", "t",
+        "--dimensions", "cat",
+        "--measure", "sales",
+        "--start", "t000",
+        "--stop", "t011",
+    )
+    assert code == 0
+    assert out.splitlines()[0].startswith("cat=a")
+
+
+def test_recommend_command(capsys, csv_path):
+    code, out, _ = run_cli(
+        capsys,
+        "recommend",
+        "--csv", csv_path,
+        "--time", "t",
+        "--dimensions", "cat",
+        "--measure", "sales",
+    )
+    assert code == 0
+    assert "cat" in out and "coverage=" in out
+
+
+def test_datasets_command(capsys):
+    code, out, _ = run_cli(capsys, "datasets")
+    assert code == 0
+    for name in ("covid-total", "sp500", "liquor"):
+        assert name in out
+
+
+def test_source_validation_errors(capsys, csv_path):
+    # Neither --dataset nor --csv.
+    code, _, err = run_cli(capsys, "explain", "--measure", "sales")
+    assert code == 2
+    assert "error" in err
+    # CSV without required column arguments.
+    code, _, err = run_cli(capsys, "explain", "--csv", csv_path)
+    assert code == 2
+
+
+def test_explain_dataset_source(capsys):
+    code, out, _ = run_cli(
+        capsys, "explain", "--dataset", "covid-deaths", "--k", "2"
+    )
+    assert code == 0
+    assert "vaccinated=NO" in out

@@ -1,0 +1,64 @@
+"""Tests for ExplainConfig validation and presets."""
+
+import pytest
+
+from repro.core.config import ExplainConfig
+from repro.exceptions import ConfigError
+
+
+def test_paper_defaults():
+    config = ExplainConfig()
+    assert config.m == 3
+    assert config.max_order == 3
+    assert config.metric == "absolute-change"
+    assert config.variant == "tse"
+    assert config.k is None
+    assert config.k_max == 20
+    assert config.use_filter
+    assert config.filter_ratio == 0.001
+    assert config.initial_guess == 30
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"m": 0},
+        {"max_order": 0},
+        {"variant": "bogus"},
+        {"k": 0},
+        {"k_max": 0},
+        {"k": 21},
+        {"filter_ratio": 1.5},
+        {"filter_ratio": -0.1},
+        {"initial_guess": 2},
+        {"sketch_length": 1},
+        {"sketch_size": 0},
+        {"smoothing_window": 0},
+    ],
+)
+def test_invalid_values_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        ExplainConfig(**kwargs)
+
+
+def test_presets_match_paper_configurations():
+    assert not ExplainConfig.vanilla().use_filter
+    assert ExplainConfig.with_filter().use_filter
+    o1 = ExplainConfig.o1()
+    assert o1.use_filter and o1.use_guess_verify and not o1.use_sketch
+    o2 = ExplainConfig.o2()
+    assert o2.use_filter and not o2.use_guess_verify and o2.use_sketch
+    both = ExplainConfig.optimized()
+    assert both.use_guess_verify and both.use_sketch
+
+
+def test_updated_returns_copy():
+    base = ExplainConfig()
+    changed = base.updated(k=5)
+    assert changed.k == 5
+    assert base.k is None
+
+
+def test_preset_overrides():
+    config = ExplainConfig.vanilla(m=2, k=4)
+    assert config.m == 2 and config.k == 4 and not config.use_filter

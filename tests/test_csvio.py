@@ -1,0 +1,37 @@
+"""Unit tests for CSV input/output."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relation.csvio import read_csv, write_csv
+from tests.conftest import build_relation
+
+
+def test_round_trip(tmp_path):
+    relation = build_relation(
+        {"t": ["d1", "d2"], "cat": ["a", "b"], "v": [1.5, 2.5]},
+        dimensions=["cat"],
+        measures=["v"],
+        time="t",
+    )
+    path = tmp_path / "data.csv"
+    write_csv(relation, path)
+    loaded = read_csv(path, dimensions=["cat"], measures=["v"], time="t")
+    assert loaded.n_rows == 2
+    assert loaded.column("v").tolist() == [1.5, 2.5]
+    assert list(loaded.column("cat")) == ["a", "b"]
+
+
+def test_missing_column_raises(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(SchemaError):
+        read_csv(path, dimensions=["zz"], measures=["a"])
+
+
+def test_extra_csv_columns_dropped(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("a,b,c\nx,2,3\ny,4,5\n")
+    relation = read_csv(path, dimensions=["a"], measures=["b"])
+    assert relation.schema.names == ("a", "b")
+    assert relation.column("b").tolist() == [2.0, 4.0]

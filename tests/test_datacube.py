@@ -1,0 +1,100 @@
+"""Unit tests for the per-explanation data cube."""
+
+import numpy as np
+import pytest
+
+from repro.cube.datacube import ExplanationCube
+from repro.exceptions import ExplanationError
+from repro.relation.predicates import Conjunction, Eq
+from repro.relation.groupby import aggregate_over_time
+from tests.conftest import regime_relation
+
+
+@pytest.fixture
+def cube():
+    return ExplanationCube(regime_relation(), ["cat"], "sales")
+
+
+def test_overall_matches_groupby(cube):
+    relation = regime_relation()
+    expected = aggregate_over_time(relation, "sales")
+    assert np.allclose(cube.overall_values, expected.values)
+    assert cube.overall_series() == expected
+
+
+def test_included_plus_excluded_is_overall(cube):
+    for index in range(cube.n_explanations):
+        assert np.allclose(
+            cube.included_values[index] + cube.excluded_values[index],
+            cube.overall_values,
+        )
+
+
+def test_included_matches_filtered_groupby(cube):
+    relation = regime_relation()
+    index = cube.index_of(Conjunction.from_items([("cat", "a")]))
+    expected = aggregate_over_time(relation.filter(Eq("cat", "a")), "sales")
+    assert np.allclose(cube.included_values[index], expected.values)
+
+
+def test_signed_contributions_definition(cube):
+    """delta(E) == [f(Rt)-f(Rc)] - [f(Rt - sE Rt) - f(Rc - sE Rc)] from rows."""
+    relation = regime_relation()
+    index = cube.index_of(Conjunction.from_items([("cat", "b")]))
+    start, stop = 3, 20
+    excluded = aggregate_over_time(relation.exclude(Eq("cat", "b")), "sales")
+    expected = (
+        cube.overall_values[stop] - cube.overall_values[start]
+    ) - (excluded.values[stop] - excluded.values[start])
+    got = cube.signed_contributions(start, stop, np.asarray([index]))[0]
+    assert got == pytest.approx(expected)
+
+
+def test_signed_contributions_many_matches_single(cube):
+    starts = np.asarray([0, 2, 5])
+    stops = np.asarray([4, 9, 23])
+    bulk = cube.signed_contributions_many(starts, stops)
+    for column, (start, stop) in enumerate(zip(starts, stops)):
+        single = cube.signed_contributions(int(start), int(stop))
+        assert np.allclose(bulk[:, column], single)
+
+
+def test_avg_aggregate_cube():
+    cube = ExplanationCube(regime_relation(), ["cat"], "sales", aggregate="avg")
+    # Excluding one of three categories leaves the average of the others.
+    index = cube.index_of(Conjunction.from_items([("cat", "c")]))
+    relation = regime_relation()
+    excluded = aggregate_over_time(relation.exclude(Eq("cat", "c")), "sales", "avg")
+    assert np.allclose(cube.excluded_values[index], excluded.values)
+
+
+def test_min_aggregate_rejected():
+    from repro.exceptions import AggregateError
+
+    with pytest.raises(AggregateError):
+        ExplanationCube(regime_relation(), ["cat"], "sales", aggregate="min")
+
+
+def test_restrict_preserves_alignment(cube):
+    keep = np.asarray([0, 2])
+    restricted = cube.restrict(keep)
+    assert restricted.n_explanations == 2
+    assert restricted.explanations[1] == cube.explanations[2]
+    assert np.allclose(restricted.included_values[1], cube.included_values[2])
+    assert np.allclose(restricted.overall_values, cube.overall_values)
+
+
+def test_restrict_boolean_mask(cube):
+    mask = np.asarray([True, False, True])
+    assert cube.restrict(mask).n_explanations == 2
+
+
+def test_index_of_unknown(cube):
+    with pytest.raises(ExplanationError):
+        cube.index_of(Conjunction.from_items([("cat", "zz")]))
+
+
+def test_series_accessor(cube):
+    series = cube.series(0)
+    assert len(series) == cube.n_times
+    assert series.labels == cube.labels

@@ -1,0 +1,131 @@
+"""Tests for dataset generators (synthetic suite and real-world sims)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SNR_LEVELS,
+    STATES,
+    available_datasets,
+    generate_synthetic,
+    load_dataset,
+    synthetic_suite,
+)
+from repro.datasets.synthetic import MIN_SEGMENT_LENGTH
+from repro.exceptions import QueryError
+from repro.relation.groupby import aggregate_over_time
+
+
+def test_registry():
+    assert set(available_datasets()) == {
+        "covid-total",
+        "covid-daily",
+        "sp500",
+        "liquor",
+        "covid-deaths",
+    }
+    with pytest.raises(QueryError):
+        load_dataset("bogus")
+
+
+def test_synthetic_determinism():
+    first = generate_synthetic(5, 30)
+    second = generate_synthetic(5, 30)
+    assert first.boundaries == second.boundaries
+    assert first.dataset.relation.equals(second.dataset.relation)
+
+
+def test_synthetic_ground_truth_constraints():
+    for seed in range(8):
+        data = generate_synthetic(seed, 40)
+        gaps = np.diff(data.boundaries)
+        assert gaps.min() >= MIN_SEGMENT_LENGTH
+        assert 2 <= data.k <= 10
+        assert data.boundaries[0] == 0 and data.boundaries[-1] == 99
+
+
+def test_synthetic_aggregate_is_category_sum():
+    data = generate_synthetic(2, 50)
+    series = aggregate_over_time(data.dataset.relation, "sales")
+    summed = sum(data.category_series.values())
+    assert np.allclose(series.values, summed, atol=1e-6)
+
+
+def test_synthetic_same_shape_across_snr():
+    noisy = generate_synthetic(4, 20)
+    clean = generate_synthetic(4, 50)
+    assert noisy.boundaries == clean.boundaries
+    for category in noisy.clean_category_series:
+        assert np.allclose(
+            noisy.clean_category_series[category],
+            clean.clean_category_series[category],
+        )
+
+
+def test_snr_controls_noise_magnitude():
+    noisy = generate_synthetic(1, 20)
+    clean = generate_synthetic(1, 50)
+    def residual(ds):
+        return sum(
+            float(np.abs(ds.category_series[c] - ds.clean_category_series[c]).mean())
+            for c in ds.category_series
+        )
+    assert residual(noisy) > 10 * residual(clean)
+
+
+def test_suite_size():
+    suite = synthetic_suite(n_datasets=2, snr_levels=(20, 50))
+    assert len(suite) == 4
+    assert {d.snr_db for d in suite} == {20.0, 50.0}
+    assert SNR_LEVELS == (20, 25, 30, 35, 40, 45, 50)
+
+
+def test_covid_dataset_shape():
+    data = load_dataset("covid-total")
+    assert len(STATES) == 58
+    series = data.series()
+    assert len(series) == 345  # 2020-01-22 .. 2020-12-31
+    # Cumulative cases are non-decreasing.
+    assert np.all(np.diff(series.values) >= 0)
+
+
+def test_covid_daily_measure():
+    data = load_dataset("covid-daily")
+    assert data.measure == "daily_confirmed_cases"
+    assert data.smoothing_window == 7
+
+
+def test_sp500_dataset_shape():
+    data = load_dataset("sp500")
+    relation = data.relation
+    assert len(relation.distinct_values("stock")) == 503
+    assert len(relation.distinct_values("category")) == 11
+    series = data.series()
+    # Crash: the minimum is well below the February peak.
+    values = series.values
+    assert values.min() < 0.75 * values.max()
+
+
+def test_liquor_dataset_shape():
+    data = load_dataset("liquor", n_products=120)
+    assert set(data.explain_by) == {
+        "bottle_volume_ml",
+        "pack",
+        "category_name",
+        "vendor_name",
+    }
+    assert len(data.series()) == 128  # business days Jan 2 - Jun 30, 2020 (Table 6: n=128)
+    assert data.relation.column("bottles_sold").min() >= 0
+
+
+def test_covid_deaths_dataset_shape():
+    data = load_dataset("covid-deaths")
+    series = data.series()
+    assert len(series) == 39  # weeks 14..52
+    assert series.labels[0] == "2021-W14"
+
+
+def test_datasets_deterministic():
+    first = load_dataset("sp500")
+    second = load_dataset("sp500")
+    assert first.relation.equals(second.relation)

@@ -1,0 +1,65 @@
+"""Unit tests for difference metrics and change effects."""
+
+import numpy as np
+import pytest
+
+from repro.diff.metrics import (
+    AbsoluteChange,
+    RelativeChange,
+    RiskRatio,
+    available_metrics,
+    change_effect,
+    get_metric,
+)
+from repro.exceptions import ExplanationError
+
+
+def test_registry():
+    assert set(available_metrics()) == {"absolute-change", "relative-change", "risk-ratio"}
+    with pytest.raises(ExplanationError):
+        get_metric("other")
+
+
+def test_absolute_change_is_abs():
+    scores = AbsoluteChange().score(np.asarray([-3.0, 2.0, 0.0]), 10.0)
+    assert scores.tolist() == [3.0, 2.0, 0.0]
+
+
+def test_relative_change_normalizes_by_overall():
+    scores = RelativeChange().score(np.asarray([5.0, -2.5]), -10.0)
+    assert scores.tolist() == [0.5, 0.25]
+
+
+def test_relative_change_zero_overall_safe():
+    scores = RelativeChange().score(np.asarray([1.0]), 0.0)
+    assert np.isfinite(scores).all()
+
+
+def test_relative_change_broadcasts_arrays():
+    contributions = np.asarray([[2.0, 3.0], [4.0, 6.0]])
+    overall = np.asarray([2.0, 3.0])
+    scores = RelativeChange().score(contributions, overall[None, :])
+    assert np.allclose(scores, [[1.0, 1.0], [2.0, 2.0]])
+
+
+def test_risk_ratio_slice_vs_rest():
+    # overall change 10, slice contributes 8 -> rest changed by 2 -> ratio 4.
+    scores = RiskRatio().score(np.asarray([8.0]), 10.0)
+    assert scores[0] == pytest.approx(4.0)
+
+
+def test_risk_ratio_rest_zero_safe():
+    scores = RiskRatio().score(np.asarray([10.0]), 10.0)
+    assert np.isfinite(scores).all()
+    assert scores[0] > 1e6  # essentially infinite dominance
+
+
+def test_change_effect_signs():
+    assert change_effect(np.asarray([-2.0, 0.0, 5.0])).tolist() == [-1.0, 0.0, 1.0]
+
+
+def test_all_metrics_nonnegative():
+    contributions = np.linspace(-5, 5, 11)
+    for name in available_metrics():
+        scores = get_metric(name).score(contributions, 3.0)
+        assert (scores >= 0).all(), name

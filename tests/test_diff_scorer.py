@@ -1,0 +1,65 @@
+"""Unit tests for the segment scorer."""
+
+import numpy as np
+import pytest
+
+from repro.cube.datacube import ExplanationCube
+from repro.diff.scorer import SegmentScorer
+from repro.exceptions import QueryError
+from repro.relation.predicates import Conjunction
+from tests.conftest import regime_relation
+
+
+@pytest.fixture
+def scorer():
+    cube = ExplanationCube(regime_relation(), ["cat"], "sales")
+    return SegmentScorer(cube)
+
+
+def test_gamma_matches_manual_computation(scorer):
+    cube = scorer.cube
+    index = cube.index_of(Conjunction.from_items([("cat", "a")]))
+    # Over [0, 5]: category a rises 4/step, others flat -> gamma = 20.
+    assert scorer.gamma(0, 5)[index] == pytest.approx(20.0)
+    assert scorer.tau(0, 5)[index] == 1
+
+
+def test_gamma_tau_consistency(scorer):
+    gammas, taus = scorer.gamma_tau(2, 14)
+    assert np.allclose(gammas, scorer.gamma(2, 14))
+    assert np.array_equal(taus, scorer.tau(2, 14))
+
+
+def test_invalid_segment_rejected(scorer):
+    with pytest.raises(QueryError):
+        scorer.gamma(5, 5)
+    with pytest.raises(QueryError):
+        scorer.gamma(-1, 3)
+    with pytest.raises(QueryError):
+        scorer.gamma(0, 99)
+
+
+def test_rank_segment_orders_by_gamma(scorer):
+    ranked = scorer.rank_segment(0, 11)
+    gammas = [s.gamma for s in ranked]
+    assert gammas == sorted(gammas, reverse=True)
+    assert ranked[0].explanation == Conjunction.from_items([("cat", "a")])
+    top1 = scorer.rank_segment(0, 11, top=1)
+    assert len(top1) == 1
+
+
+def test_scored_single(scorer):
+    cube = scorer.cube
+    index = cube.index_of(Conjunction.from_items([("cat", "b")]))
+    scored = scorer.scored(index, 12, 23)
+    assert scored.tau == 1
+    assert scored.effect_symbol == "+"
+    assert scored.gamma == pytest.approx(5.0 * 11)
+
+
+def test_indices_selection(scorer):
+    cube = scorer.cube
+    subset = np.asarray([1, 2])
+    full = scorer.gamma(0, 23)
+    partial = scorer.gamma(0, 23, subset)
+    assert np.allclose(partial, full[subset])

@@ -1,0 +1,83 @@
+"""Tests for the TSExplain facade."""
+
+import pytest
+
+from repro.core.config import ExplainConfig
+from repro.core.engine import TSExplain
+from repro.exceptions import ConfigError, QueryError
+from repro.relation.predicates import Conjunction
+from tests.conftest import regime_relation
+
+
+@pytest.fixture
+def engine():
+    return TSExplain(
+        regime_relation(),
+        measure="sales",
+        explain_by=["cat"],
+        config=ExplainConfig(use_filter=False, k=2),
+    )
+
+
+def test_explain_full_series(engine):
+    result = engine.explain()
+    assert result.cuts == (12,)
+    assert engine.last_result is result
+
+
+def test_config_overrides_via_kwargs():
+    engine = TSExplain(
+        regime_relation(), measure="sales", explain_by=["cat"], k=3, use_filter=False
+    )
+    assert engine.config.k == 3
+    engine = TSExplain(
+        regime_relation(),
+        measure="sales",
+        config=ExplainConfig(use_filter=False),
+        k=2,
+    )
+    assert engine.config.k == 2 and not engine.config.use_filter
+
+
+def test_invalid_override_rejected():
+    with pytest.raises(ConfigError):
+        TSExplain(regime_relation(), measure="sales", m=0)
+
+
+def test_explain_by_defaults_to_dimensions():
+    engine = TSExplain(regime_relation(), measure="sales", use_filter=False, k=2)
+    result = engine.explain()
+    assert result.segments[0].explanations[0].explanation.attributes() == ("cat",)
+
+
+def test_windowed_explain(engine):
+    result = engine.explain(start="t006", stop="t018")
+    assert result.series.label_at(0) == "t006"
+    assert len(result.series) == 13
+    # The regime switch at t012 is inside the window and must be found.
+    labels = result.cut_labels
+    assert "t012" in labels
+
+
+def test_window_validation(engine):
+    with pytest.raises(QueryError):
+        engine.explain(start="t010", stop="t010")
+
+
+def test_series_accessor(engine):
+    series = engine.series()
+    assert len(series) == 24
+    assert series.values[0] == 27.0  # 10 + 10 + 7
+
+
+def test_top_explanations_two_point_diff(engine):
+    top = engine.top_explanations("t000", "t011", m=2)
+    assert top[0].explanation == Conjunction.from_items([("cat", "a")])
+    assert top[0].tau == 1
+    assert top[0].gamma == pytest.approx(44.0)
+    assert len(top) <= 2
+
+
+def test_top_explanations_order_validation(engine):
+    with pytest.raises(QueryError):
+        engine.top_explanations("t011", "t000")

@@ -1,0 +1,78 @@
+"""Tests for evaluation protocols (distance percent, ground-truth rank)."""
+
+import numpy as np
+import pytest
+
+from repro.ca.cascade import CascadingAnalysts, DrillDownTree
+from repro.cube.datacube import ExplanationCube
+from repro.datasets import generate_synthetic
+from repro.diff.scorer import SegmentScorer
+from repro.evaluation.editdist import cut_displacement, distance_percent
+from repro.evaluation.rank import (
+    ground_truth_rank,
+    relative_metric_ranks,
+    variance_design_ranks,
+)
+from repro.exceptions import SegmentationError
+from repro.segmentation.variance import SegmentationCosts
+from tests.conftest import regime_relation
+
+
+def test_distance_percent_zero_for_exact_match():
+    assert distance_percent((0, 10, 50, 99), (0, 10, 50, 99), 100) == 0.0
+
+
+def test_distance_percent_scales_with_displacement():
+    near = distance_percent((0, 12, 99), (0, 10, 99), 100)
+    far = distance_percent((0, 40, 99), (0, 10, 99), 100)
+    assert 0 < near < far
+
+
+def test_distance_percent_normalization():
+    # One cut displaced by 10 over n=100, K=2 -> 100 * 10 / 200 = 5%.
+    assert distance_percent((0, 20, 99), (0, 10, 99), 100) == pytest.approx(5.0)
+
+
+def test_missing_cut_penalized():
+    missing = distance_percent((0, 99), (0, 50, 99), 100)
+    present = distance_percent((0, 45, 99), (0, 50, 99), 100)
+    assert missing > present
+
+
+def test_extra_cut_penalized():
+    extra = distance_percent((0, 30, 50, 99), (0, 50, 99), 100)
+    assert extra > 0
+
+
+def test_cut_displacement_symmetric_count():
+    assert cut_displacement((0, 10, 99), (0, 15, 99), 100) == 5.0
+
+
+def test_invalid_boundaries():
+    with pytest.raises(SegmentationError):
+        distance_percent((0,), (0, 99), 100)
+
+
+def test_ground_truth_rank_perfect_on_clean_data():
+    relation = regime_relation()
+    cube = ExplanationCube(relation, ["cat"], "sales")
+    scorer = SegmentScorer(cube)
+    solver = CascadingAnalysts(DrillDownTree(cube.explanations), m=3)
+    costs = SegmentationCosts(scorer, solver)
+    rank = ground_truth_rank(costs, (0, 12, 23), n_samples=200, seed=1)
+    assert rank == 1
+
+
+def test_variance_design_ranks_clean_synthetic():
+    data = generate_synthetic(0, 50)
+    ranks = variance_design_ranks(data, ("tse", "dist1"), n_samples=300)
+    # At SNR 50 every reasonable design should put the truth at rank 1
+    # (the paper's Figure 6 shows all metrics at rank 1 for SNR 50).
+    assert ranks["tse"] == 1
+
+
+def test_relative_metric_ranks_orders_and_ties():
+    ranks = relative_metric_ranks({"a": 1, "b": 5, "c": 1, "d": 9})
+    assert ranks["a"] == ranks["c"] == 1.5
+    assert ranks["b"] == 3.0
+    assert ranks["d"] == 4.0

@@ -1,0 +1,44 @@
+"""Smoke tests executing the example scripts end to end.
+
+The three heavyweight case-study examples (covid, sp500, liquor) are
+exercised indirectly by the integration tests and benchmarks; here we run
+the fast ones exactly as a user would (``python examples/<name>.py``).
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script", ["quickstart.py", "streaming_updates.py", "advanced_analysis.py"]
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_finds_the_handover(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "category=a" in out and "category=b" in out
+
+
+def test_streaming_tracks_latest_regime(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "streaming_updates.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Latest regime driver: category=social" in out
+
+
+def test_advanced_analysis_recommends_pack_or_bv(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "advanced_analysis.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    first_line = next(
+        line for line in out.splitlines() if "coverage=" in line
+    )
+    assert "pack" in first_line or "bottle_volume_ml" in first_line
+    assert "HINT:" in out

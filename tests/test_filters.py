@@ -1,0 +1,55 @@
+"""Unit tests for the support filter (w filter, section 7.5.1)."""
+
+import numpy as np
+
+from repro.cube.datacube import ExplanationCube
+from repro.cube.filters import apply_support_filter, support_filter_mask
+from repro.relation.predicates import Conjunction
+from tests.conftest import build_relation
+
+
+def make_cube(tiny_value: float) -> ExplanationCube:
+    rows = {"t": [], "cat": [], "v": []}
+    for t in range(5):
+        for cat, value in (("big", 1000.0), ("mid", 100.0), ("tiny", tiny_value)):
+            rows["t"].append(f"t{t}")
+            rows["cat"].append(cat)
+            rows["v"].append(value)
+    relation = build_relation(rows, dimensions=["cat"], measures=["v"], time="t")
+    return ExplanationCube(relation, ["cat"], "v")
+
+
+def test_low_support_candidate_dropped():
+    cube = make_cube(tiny_value=0.5)  # 0.5 < 0.001 * 1100.5 everywhere
+    mask = support_filter_mask(cube, ratio=0.001)
+    dropped = [c for c, keep in zip(cube.explanations, mask) if not keep]
+    assert dropped == [Conjunction.from_items([("cat", "tiny")])]
+    filtered = apply_support_filter(cube, ratio=0.001)
+    assert filtered.n_explanations == 2
+
+
+def test_candidate_kept_if_any_point_significant():
+    # One large day rescues the candidate even if all other days are tiny.
+    rows = {"t": [], "cat": [], "v": []}
+    for t in range(5):
+        rows["t"].append(f"t{t}")
+        rows["cat"].append("big")
+        rows["v"].append(1000.0)
+        rows["t"].append(f"t{t}")
+        rows["cat"].append("tiny")
+        rows["v"].append(500.0 if t == 3 else 0.01)
+    relation = build_relation(rows, dimensions=["cat"], measures=["v"], time="t")
+    cube = ExplanationCube(relation, ["cat"], "v")
+    assert support_filter_mask(cube, ratio=0.001).all()
+
+
+def test_zero_ratio_keeps_everything():
+    cube = make_cube(tiny_value=0.0)
+    # ratio 0 -> threshold 0 -> strict < never true except... |0| < 0 false.
+    mask = support_filter_mask(cube, ratio=0.0)
+    assert mask.all()
+
+
+def test_filter_mask_shape():
+    cube = make_cube(tiny_value=1.0)
+    assert support_filter_mask(cube).shape == (cube.n_explanations,)

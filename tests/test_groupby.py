@@ -1,0 +1,84 @@
+"""Unit tests for group-by execution."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.relation.groupby import aggregate_over_time, group_by
+from repro.relation.schema import Schema
+from repro.relation.table import Relation
+from tests.conftest import build_relation
+
+
+@pytest.fixture
+def relation():
+    return build_relation(
+        {
+            "t": ["d1", "d1", "d2", "d2", "d2"],
+            "cat": ["a", "b", "a", "b", "b"],
+            "v": [1.0, 2.0, 3.0, 4.0, 6.0],
+        },
+        dimensions=["cat"],
+        measures=["v"],
+        time="t",
+    )
+
+
+def test_group_by_single_key(relation):
+    out = group_by(relation, ["cat"], {"total": ("sum", "v")})
+    rows = {row["cat"]: row["total"] for row in out.to_rows()}
+    assert rows == {"a": 4.0, "b": 12.0}
+
+
+def test_group_by_multiple_keys_and_aggregates(relation):
+    out = group_by(
+        relation,
+        ["t", "cat"],
+        {"total": ("sum", "v"), "n": ("count", "v"), "mean": ("avg", "v")},
+    )
+    rows = {(row["t"], row["cat"]): row for row in out.to_rows()}
+    assert rows[("d2", "b")]["total"] == 10.0
+    assert rows[("d2", "b")]["n"] == 2.0
+    assert rows[("d2", "b")]["mean"] == 5.0
+    assert len(rows) == 4
+
+
+def test_group_by_requires_keys(relation):
+    with pytest.raises(QueryError):
+        group_by(relation, [], {"total": ("sum", "v")})
+
+
+def test_aggregate_over_time_sum(relation):
+    series = aggregate_over_time(relation, "v", "sum")
+    assert series.labels == ("d1", "d2")
+    assert series.values.tolist() == [3.0, 13.0]
+
+
+def test_aggregate_over_time_avg(relation):
+    series = aggregate_over_time(relation, "v", "avg")
+    assert series.values.tolist() == [1.5, pytest.approx(13.0 / 3)]
+
+
+def test_aggregate_over_time_orders_labels():
+    relation = build_relation(
+        {"t": ["d2", "d1"], "cat": ["a", "a"], "v": [5.0, 1.0]},
+        dimensions=["cat"],
+        measures=["v"],
+        time="t",
+    )
+    series = aggregate_over_time(relation, "v")
+    assert series.labels == ("d1", "d2")
+    assert series.values.tolist() == [1.0, 5.0]
+
+
+def test_aggregate_over_time_empty_rejected():
+    schema = Schema.build(dimensions=["cat"], measures=["v"], time="t")
+    with pytest.raises(QueryError):
+        aggregate_over_time(Relation.empty(schema), "v")
+
+
+def test_aggregate_over_time_validates_measure(relation):
+    from repro.exceptions import SchemaError
+
+    with pytest.raises(SchemaError):
+        aggregate_over_time(relation, "cat")

@@ -1,0 +1,94 @@
+"""Unit and property tests for guess-and-verify (O1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ca.cascade import CascadingAnalysts, DrillDownTree
+from repro.ca.guess_verify import GuessAndVerify
+from repro.exceptions import ExplanationError
+from repro.relation.predicates import Conjunction
+
+
+def conj(**items) -> Conjunction:
+    return Conjunction.from_items(sorted(items.items()))
+
+
+def make_candidates(n_a: int, n_b: int) -> list[Conjunction]:
+    out = [conj(A=a) for a in range(n_a)]
+    out += [conj(B=b) for b in range(n_b)]
+    out += [conj(A=a, B=b) for a in range(n_a) for b in range(n_b)]
+    return out
+
+
+def test_small_guess_still_optimal():
+    candidates = make_candidates(4, 3)
+    vanilla = CascadingAnalysts(DrillDownTree(candidates), m=3)
+    o1 = GuessAndVerify(candidates, m=3, initial_guess=3)
+    rng = np.random.default_rng(0)
+    for _ in range(25):
+        gamma = rng.uniform(0, 10, len(candidates))
+        assert o1.solve(gamma).total == pytest.approx(vanilla.solve(gamma).total)
+
+
+def test_adversarial_overlapping_prefix():
+    """Top-2 by gamma overlap; the optimum needs a candidate ranked later."""
+    candidates = [conj(A=0), conj(A=0, B=0), conj(A=1), conj(B=1)]
+    gamma = np.asarray([10.0, 9.5, 1.0, 0.9])
+    o1 = GuessAndVerify(candidates, m=2, initial_guess=2)
+    vanilla = CascadingAnalysts(DrillDownTree(candidates), m=2)
+    assert o1.solve(gamma).total == pytest.approx(vanilla.solve(gamma).total)
+    # The initial guess {A=0, A=0&B=0} only supports one selection (they
+    # overlap), so verification must have failed at least once.
+    assert o1.iterations >= 2
+
+
+def test_guess_covers_everything_immediately():
+    candidates = make_candidates(2, 1)
+    o1 = GuessAndVerify(candidates, m=3, initial_guess=30)
+    gamma = np.linspace(1, 2, len(candidates))
+    result = o1.solve(gamma)
+    assert o1.iterations == 1
+    assert len(result.indices) <= 3
+
+
+def test_initial_guess_validation():
+    with pytest.raises(ExplanationError):
+        GuessAndVerify([conj(A=0)], m=3, initial_guess=2)
+
+
+def test_gamma_length_validation():
+    o1 = GuessAndVerify([conj(A=0)], m=1, initial_guess=1)
+    with pytest.raises(ExplanationError):
+        o1.solve(np.asarray([1.0, 2.0]))
+
+
+def test_solve_batch_matches_loop():
+    candidates = make_candidates(3, 2)
+    o1 = GuessAndVerify(candidates, m=3, initial_guess=4)
+    rng = np.random.default_rng(3)
+    gammas = rng.uniform(0, 5, size=(6, len(candidates)))
+    batch = o1.solve_batch(gammas)
+    for row, result in enumerate(batch):
+        again = o1.solve(gammas[row])
+        assert result.indices == again.indices
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_guess_and_verify_always_matches_vanilla(data):
+    candidates = make_candidates(data.draw(st.integers(2, 3)), data.draw(st.integers(1, 2)))
+    gamma = np.asarray(
+        data.draw(
+            st.lists(
+                st.floats(0, 50, allow_nan=False),
+                min_size=len(candidates),
+                max_size=len(candidates),
+            )
+        )
+    )
+    m = data.draw(st.integers(1, 3))
+    guess = data.draw(st.integers(m, 6))
+    o1 = GuessAndVerify(candidates, m=m, initial_guess=guess)
+    vanilla = CascadingAnalysts(DrillDownTree(candidates), m=m)
+    assert o1.solve(gamma).total == pytest.approx(vanilla.solve(gamma).total)

@@ -1,0 +1,85 @@
+"""Tests for high-variance segment hints and drill-down (section 9)."""
+
+import pytest
+
+from repro.core.config import ExplainConfig
+from repro.core.engine import TSExplain
+from repro.core.hints import drill_down, variance_hints
+from repro.exceptions import QueryError
+from tests.conftest import build_relation
+
+
+def three_regime_relation(n=36):
+    """Regimes at [0,12), [12,24), [24,36): a, then b, then c drives."""
+    rows = {"t": [], "cat": [], "v": []}
+    for t in range(n):
+        for cat in ("a", "b", "c"):
+            base = 10.0
+            if cat == "a" and t < 12:
+                base += 5.0 * t
+            if cat == "a" and t >= 12:
+                base += 5.0 * 11
+            if cat == "b" and 12 <= t < 24:
+                base += 6.0 * (t - 12)
+            if cat == "b" and t >= 24:
+                base += 6.0 * 11
+            if cat == "c" and t >= 24:
+                base += 7.0 * (t - 24)
+            rows["t"].append(f"t{t:03d}")
+            rows["cat"].append(cat)
+            rows["v"].append(base)
+    return build_relation(rows, dimensions=["cat"], measures=["v"], time="t")
+
+
+@pytest.fixture
+def engine():
+    return TSExplain(
+        three_regime_relation(),
+        measure="v",
+        explain_by=["cat"],
+        config=ExplainConfig(use_filter=False),
+    )
+
+
+def test_underfitted_k_produces_hint(engine):
+    # K=2 forces one segment to straddle a regime change.
+    result = engine.explain(config=ExplainConfig(use_filter=False, k=2))
+    hints = variance_hints(result, factor=1.2)
+    assert hints
+    # The flagged segment is the straddling (higher-variance) one.
+    assert hints[0].variance == max(s.variance for s in result.segments)
+    assert "drilling down" in hints[0].describe()
+
+
+def test_well_fitted_k_produces_no_hints(engine):
+    result = engine.explain(config=ExplainConfig(use_filter=False, k=3))
+    # The transition unit [11, 12] may be assigned to either side.
+    assert abs(result.cuts[0] - 12) <= 1
+    assert abs(result.cuts[1] - 24) <= 1
+    assert variance_hints(result, factor=1.5) == []
+
+
+def test_drill_down_splits_flagged_segment(engine):
+    result = engine.explain(config=ExplainConfig(use_filter=False, k=2))
+    hint = variance_hints(result, factor=1.2)[0]
+    inner = drill_down(engine, hint.segment)
+    # The inner run finds the regime change the coarse run straddled.
+    inner_cut_positions = {
+        engine.series().position_of(label) for label in inner.cut_labels
+    }
+    assert 12 in inner_cut_positions or 24 in inner_cut_positions
+
+
+def test_drill_down_too_short_rejected(engine):
+    result = engine.explain(config=ExplainConfig(use_filter=False, k=3))
+    short = result.segments[0]
+    if short.length >= 3:
+        pytest.skip("segment long enough; construct a short one instead")
+    with pytest.raises(QueryError):
+        drill_down(engine, short)
+
+
+def test_factor_validation(engine):
+    result = engine.explain(config=ExplainConfig(use_filter=False, k=2))
+    with pytest.raises(QueryError):
+        variance_hints(result, factor=0.0)

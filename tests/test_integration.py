@@ -1,0 +1,103 @@
+"""End-to-end integration tests across the whole system."""
+
+import numpy as np
+import pytest
+
+from repro import ExplainConfig, TSExplain
+from repro.baselines import BottomUpSegmenter
+from repro.datasets import generate_synthetic, load_dataset
+from repro.evaluation import distance_percent, time_baseline, time_tsexplain
+
+
+def explain_synthetic(data, config):
+    ds = data.dataset
+    engine = TSExplain(ds.relation, measure=ds.measure, explain_by=ds.explain_by, config=config)
+    return engine.explain()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_recovers_ground_truth_on_clean_synthetic(seed):
+    """SNR 50: TSExplain's output should be (almost) exactly ground truth."""
+    data = generate_synthetic(seed, 50)
+    result = explain_synthetic(data, ExplainConfig.vanilla(k=data.k))
+    assert distance_percent(result.boundaries, data.boundaries, 100) < 1.0
+
+
+def test_beats_bottomup_on_explanation_driven_change():
+    """A regime change invisible in the aggregate shape: only TSExplain sees it.
+
+    Two categories swap roles at t=30 while the aggregate stays a straight
+    line; visual baselines cannot place the cut, the explanation-aware
+    objective can.
+    """
+    from tests.conftest import build_relation
+
+    n = 60
+    rows = {"t": [], "cat": [], "v": []}
+    for t in range(n):
+        growth = 5.0 * t
+        rows["t"].append(f"t{t:03d}")
+        rows["cat"].append("a")
+        rows["v"].append(10.0 + (growth if t < 30 else 150.0))
+        rows["t"].append(f"t{t:03d}")
+        rows["cat"].append("b")
+        rows["v"].append(10.0 + (0.0 if t < 30 else growth - 150.0))
+    relation = build_relation(rows, dimensions=["cat"], measures=["v"], time="t")
+    engine = TSExplain(relation, measure="v", explain_by=["cat"], config=ExplainConfig.vanilla(k=2))
+    result = engine.explain()
+    assert result.cuts == (30,)
+    # The aggregate is a perfect line; Bottom-Up has no information at all.
+    aggregate = engine.series().values
+    assert np.allclose(np.diff(aggregate), np.diff(aggregate)[0])
+
+
+def test_optimizations_preserve_quality_synthetic():
+    data = generate_synthetic(3, 45)
+    vanilla = explain_synthetic(data, ExplainConfig.vanilla(k=data.k))
+    optimized = explain_synthetic(data, ExplainConfig.optimized(k=data.k))
+    d_vanilla = distance_percent(vanilla.boundaries, data.boundaries, 100)
+    d_optimized = distance_percent(optimized.boundaries, data.boundaries, 100)
+    assert d_optimized <= d_vanilla + 2.0  # small quality budget
+
+
+def test_covid_deaths_story():
+    """Figure 18: vaccinated=NO drives the first period, 50+ the wave."""
+    ds = load_dataset("covid-deaths")
+    result = TSExplain(
+        ds.relation, measure=ds.measure, explain_by=ds.explain_by
+    ).explain()
+    first = repr(result.segments[0].explanations[0].explanation)
+    assert first == "vaccinated=NO"
+    later_tops = [repr(s.explanations[0].explanation) for s in result.segments[1:]]
+    assert any("age_group=50+" in top for top in later_tops)
+
+
+def test_latency_helpers_run():
+    data = generate_synthetic(0, 40)
+    report = time_tsexplain(data.dataset, ExplainConfig.vanilla(k=3), "vanilla")
+    assert report.total > 0
+    assert "vanilla" in report.row()
+    baseline = time_baseline(data.dataset, BottomUpSegmenter(), k=3)
+    assert baseline.total >= 0
+    assert "Bottom-Up" in baseline.row()
+
+
+def test_sp500_crash_story():
+    """Technology and financials lead the crash segment (Table 4)."""
+    ds = load_dataset("sp500")
+    engine = TSExplain(
+        ds.relation,
+        measure=ds.measure,
+        explain_by=ds.explain_by,
+        config=ExplainConfig.optimized(k=4),
+    )
+    result = engine.explain()
+    # Find the segment with the largest drop: the crash.
+    drops = [
+        result.series.values[s.stop] - result.series.values[s.start]
+        for s in result.segments
+    ]
+    crash = result.segments[int(np.argmin(drops))]
+    tops = [repr(s.explanation) for s in crash.explanations]
+    assert any("technology" in t for t in tops)
+    assert all(s.tau == -1 for s in crash.explanations[:2])

@@ -1,0 +1,51 @@
+"""Tests for elbow-based K selection (section 6)."""
+
+import pytest
+
+from repro.exceptions import SegmentationError
+from repro.segmentation.kselect import MAX_SEGMENTS, elbow_point, k_variance_curve
+
+
+def test_sharp_elbow_detected():
+    ks = list(range(1, 11))
+    # Steep drop until K=4, flat afterwards.
+    costs = [100.0, 60.0, 30.0, 5.0, 4.5, 4.0, 3.6, 3.3, 3.1, 3.0]
+    assert elbow_point(ks, costs) == 4
+
+
+def test_elbow_on_convex_decreasing_curve():
+    ks = list(range(1, 21))
+    costs = [100.0 / k for k in ks]
+    chosen = elbow_point(ks, costs)
+    assert 2 <= chosen <= 6  # knee of 1/k in the unit square
+
+
+def test_constant_curve_falls_back_to_smallest_k():
+    assert elbow_point([1, 2, 3], [5.0, 5.0, 5.0]) == 1
+
+
+def test_short_curves():
+    assert elbow_point([3], [1.0]) == 3
+    assert elbow_point([2, 5], [9.0, 1.0]) == 2
+
+
+def test_validation():
+    with pytest.raises(SegmentationError):
+        elbow_point([], [])
+    with pytest.raises(SegmentationError):
+        elbow_point([1, 2], [1.0])
+
+
+def test_k_variance_curve_extraction():
+    class FakeScheme:
+        def __init__(self, k, cost):
+            self.k = k
+            self.total_cost = cost
+
+    ks, costs = k_variance_curve([FakeScheme(1, 9.0), FakeScheme(2, 4.0)])
+    assert ks == [1, 2]
+    assert costs == [9.0, 4.0]
+
+
+def test_max_segments_paper_value():
+    assert MAX_SEGMENTS == 20

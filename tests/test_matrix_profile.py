@@ -1,0 +1,71 @@
+"""Tests for the matrix-profile substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.matrix_profile import compute_matrix_profile
+from repro.exceptions import SegmentationError
+
+
+def znorm(window: np.ndarray) -> np.ndarray:
+    std = window.std()
+    if std < 1e-12:
+        return np.zeros_like(window)
+    return (window - window.mean()) / std
+
+
+def brute_force_profile(values: np.ndarray, window: int):
+    n_sub = len(values) - window + 1
+    exclusion = max(1, window // 2)
+    profile = np.full(n_sub, np.inf)
+    indices = np.zeros(n_sub, dtype=int)
+    for i in range(n_sub):
+        for j in range(n_sub):
+            if abs(i - j) <= exclusion:
+                continue
+            d = np.linalg.norm(znorm(values[i : i + window]) - znorm(values[j : j + window]))
+            if d < profile[i]:
+                profile[i] = d
+                indices[i] = j
+    return profile, indices
+
+
+@pytest.mark.parametrize("window", [4, 8, 13])
+def test_matches_brute_force(window, rng):
+    values = rng.normal(size=60)
+    mp = compute_matrix_profile(values, window)
+    expected_profile, _ = brute_force_profile(values, window)
+    assert np.allclose(mp.profile, expected_profile, atol=1e-8)
+
+
+def test_indices_point_to_nearest_neighbour(rng):
+    values = rng.normal(size=50)
+    window = 6
+    mp = compute_matrix_profile(values, window)
+    for i in range(mp.n_subsequences):
+        j = mp.indices[i]
+        d = np.linalg.norm(znorm(values[i : i + window]) - znorm(values[j : j + window]))
+        assert d == pytest.approx(mp.profile[i], abs=1e-8)
+        assert abs(i - j) > window // 2
+
+
+def test_periodic_signal_has_small_profile():
+    values = np.sin(np.arange(300) / 7.0)
+    mp = compute_matrix_profile(values, 30)
+    assert mp.profile.max() < 0.5
+
+
+def test_constant_regions_are_zero_distance():
+    values = np.concatenate([np.zeros(30), np.ones(30)])
+    mp = compute_matrix_profile(values, 5)
+    # Constant windows exist on both sides; they match each other exactly.
+    assert mp.profile.min() == pytest.approx(0.0)
+
+
+def test_validation():
+    with pytest.raises(SegmentationError):
+        compute_matrix_profile(np.zeros(10), 1)
+    with pytest.raises(SegmentationError):
+        compute_matrix_profile(np.zeros(5), 5)
+    with pytest.raises(SegmentationError):
+        compute_matrix_profile(np.zeros((3, 3)), 2)

@@ -1,0 +1,106 @@
+"""Unit tests for predicates and canonical conjunctions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.relation.predicates import (
+    And,
+    Between,
+    Conjunction,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    Le,
+    Lt,
+    Not,
+    Or,
+)
+from tests.conftest import build_relation
+
+
+@pytest.fixture
+def relation():
+    return build_relation(
+        {
+            "cat": ["a", "b", "a", "c"],
+            "x": [1.0, 2.0, 3.0, 4.0],
+        },
+        dimensions=["cat"],
+        measures=["x"],
+    )
+
+
+def test_eq_mask(relation):
+    assert Eq("cat", "a").mask(relation).tolist() == [True, False, True, False]
+
+
+def test_in_mask(relation):
+    assert In("cat", {"a", "c"}).mask(relation).tolist() == [True, False, True, True]
+
+
+def test_comparisons(relation):
+    assert Gt("x", 2.0).mask(relation).tolist() == [False, False, True, True]
+    assert Ge("x", 2.0).mask(relation).tolist() == [False, True, True, True]
+    assert Lt("x", 2.0).mask(relation).tolist() == [True, False, False, False]
+    assert Le("x", 2.0).mask(relation).tolist() == [True, True, False, False]
+
+
+def test_between_and_reversed_bounds(relation):
+    assert Between("x", 2.0, 3.0).mask(relation).tolist() == [False, True, True, False]
+    with pytest.raises(QueryError):
+        Between("x", 3.0, 2.0)
+
+
+def test_boolean_combinators(relation):
+    predicate = (Eq("cat", "a") & Gt("x", 2.0)) | Eq("cat", "c")
+    assert predicate.mask(relation).tolist() == [False, False, True, True]
+    assert Not(Eq("cat", "a")).mask(relation).tolist() == [False, True, False, True]
+    assert (~Eq("cat", "a")).mask(relation).tolist() == [False, True, False, True]
+
+
+def test_and_or_require_terms():
+    with pytest.raises(QueryError):
+        And([])
+    with pytest.raises(QueryError):
+        Or([])
+
+
+def test_conjunction_canonical_order_and_hash():
+    left = Conjunction([Eq("b", 2), Eq("a", 1)])
+    right = Conjunction.from_items([("a", 1), ("b", 2)])
+    assert left == right
+    assert hash(left) == hash(right)
+    assert left.items == (("a", 1), ("b", 2))
+    assert left.order == 2
+
+
+def test_conjunction_repeated_attribute_rejected():
+    with pytest.raises(QueryError):
+        Conjunction([Eq("a", 1), Eq("a", 2)])
+
+
+def test_conjunction_mask_and_empty(relation):
+    conj = Conjunction([Eq("cat", "a")])
+    assert conj.mask(relation).tolist() == [True, False, True, False]
+    empty = Conjunction(())
+    assert empty.mask(relation).all()
+    assert empty.order == 0
+    assert repr(empty) == "TRUE"
+
+
+def test_conjunction_contains_and_extend():
+    base = Conjunction.from_items([("a", 1)])
+    extended = base.extend("b", 2)
+    assert extended.contains(base)
+    assert not base.contains(extended)
+    assert extended.value_of("b") == 2
+    with pytest.raises(QueryError):
+        base.value_of("zz")
+
+
+def test_predicate_attributes():
+    conj = Conjunction.from_items([("b", 2), ("a", 1)])
+    assert conj.attributes() == ("a", "b")
+    assert And([Eq("x", 1), Eq("y", 2)]).attributes() == ("x", "y")

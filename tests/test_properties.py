@@ -1,0 +1,175 @@
+"""Cross-module property-based tests on end-to-end invariants.
+
+These generate random relations and check invariants that must hold for
+*any* input: decomposition identities in the cube, non-overlap and
+optimality of the CA selection, bounds of the NDCG distance, optimality of
+the segmentation DP against exhaustive search, and agreement between the
+vectorized cost path and the reference distance implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ca.bruteforce import is_non_overlapping
+from repro.ca.cascade import CascadingAnalysts, DrillDownTree
+from repro.core.config import ExplainConfig
+from repro.core.pipeline import ExplainPipeline
+from repro.cube.datacube import ExplanationCube
+from repro.diff.scorer import SegmentScorer
+from repro.segmentation.bruteforce import exhaustive_best_segmentation
+from repro.segmentation.distance import explanation_distance
+from repro.segmentation.dp import solve_k_segmentation
+from repro.segmentation.variance import SegmentationCosts
+from repro.relation.schema import Schema
+from repro.relation.table import Relation
+
+
+@st.composite
+def small_relations(draw):
+    """Random relations: 4-10 time points, 2-3 categories, 1-2 attributes."""
+    n_times = draw(st.integers(4, 10))
+    n_cats = draw(st.integers(2, 3))
+    two_attrs = draw(st.booleans())
+    values = draw(
+        st.lists(
+            st.floats(0.0, 100.0, allow_nan=False),
+            min_size=n_times * n_cats * (2 if two_attrs else 1),
+            max_size=n_times * n_cats * (2 if two_attrs else 1),
+        )
+    )
+    rows = {"t": [], "a": [], "m": []}
+    if two_attrs:
+        rows["b"] = []
+    position = 0
+    for t in range(n_times):
+        for c in range(n_cats):
+            for b in range(2 if two_attrs else 1):
+                rows["t"].append(f"t{t:02d}")
+                rows["a"].append(f"a{c}")
+                if two_attrs:
+                    rows["b"].append(f"b{b}")
+                rows["m"].append(values[position])
+                position += 1
+    dimensions = ["a", "b"] if two_attrs else ["a"]
+    schema = Schema.build(dimensions=dimensions, measures=["m"], time="t")
+    return Relation(rows, schema), dimensions
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=small_relations())
+def test_cube_decomposition_invariant(data):
+    """included + excluded == overall for every candidate (SUM cubes)."""
+    relation, dimensions = data
+    cube = ExplanationCube(relation, dimensions, "m", max_order=2)
+    for index in range(cube.n_explanations):
+        np.testing.assert_allclose(
+            cube.included_values[index] + cube.excluded_values[index],
+            cube.overall_values,
+            rtol=1e-9,
+            atol=1e-6,
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=small_relations(), start_frac=st.floats(0, 0.8), m=st.integers(1, 4))
+def test_ca_selection_invariants(data, start_frac, m):
+    """CA output: non-overlapping, at most m, gammas sorted, total consistent."""
+    relation, dimensions = data
+    cube = ExplanationCube(relation, dimensions, "m", max_order=2)
+    scorer = SegmentScorer(cube)
+    n = cube.n_times
+    start = min(int(start_frac * (n - 1)), n - 2)
+    stop = n - 1
+    solver = CascadingAnalysts(DrillDownTree(cube.explanations), m=m)
+    result = solver.solve(scorer.gamma(start, stop))
+    assert len(result.indices) <= m
+    assert list(result.gammas) == sorted(result.gammas, reverse=True)
+    assert is_non_overlapping([cube.explanations[i] for i in result.indices])
+    assert result.total == pytest.approx(sum(result.gammas), abs=1e-9)
+    # Best is monotone and the selection achieves Best[m].
+    assert all(b <= a + 1e-9 for b, a in zip(result.best, result.best[1:]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=small_relations())
+def test_distance_bounds_and_symmetry(data):
+    """dist in [0,1]; tse symmetric; self-distance 0."""
+    relation, dimensions = data
+    cube = ExplanationCube(relation, dimensions, "m", max_order=2)
+    scorer = SegmentScorer(cube)
+    solver = CascadingAnalysts(DrillDownTree(cube.explanations), m=3)
+    costs = SegmentationCosts(scorer, solver)
+    n = cube.n_times
+    seg_i, seg_j = (0, n // 2), (n // 2, n - 1)
+    if seg_i[1] == seg_i[0] or seg_j[1] == seg_j[0]:
+        return
+    res_i = costs.segment_result(*seg_i)
+    res_j = costs.segment_result(*seg_j)
+    d_ij = explanation_distance(scorer, seg_i, seg_j, res_i, res_j, "tse")
+    d_ji = explanation_distance(scorer, seg_j, seg_i, res_j, res_i, "tse")
+    assert 0.0 <= d_ij <= 1.0
+    assert d_ij == pytest.approx(d_ji, abs=1e-12)
+    assert explanation_distance(scorer, seg_i, seg_i, res_i, res_i, "tse") == pytest.approx(0.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=small_relations(), k=st.integers(1, 4))
+def test_dp_optimal_on_real_costs(data, k):
+    """The Eq. 11 DP matches exhaustive search on real variance costs."""
+    relation, dimensions = data
+    cube = ExplanationCube(relation, dimensions, "m", max_order=2)
+    scorer = SegmentScorer(cube)
+    solver = CascadingAnalysts(DrillDownTree(cube.explanations), m=3)
+    costs = SegmentationCosts(scorer, solver)
+    k = min(k, costs.n_points - 1)
+    schemes = solve_k_segmentation(costs.cost_matrix, k_max=k)
+    scheme = next(s for s in schemes if s.k == k)
+    _, best = exhaustive_best_segmentation(costs.cost_matrix, k)
+    assert scheme.total_cost == pytest.approx(best, abs=1e-9)
+    assert costs.total_cost(scheme.boundaries) == pytest.approx(best, abs=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=small_relations())
+def test_pipeline_segments_tile_the_series(data):
+    """End-to-end: segments partition [0, n-1]; K matches; labels align."""
+    relation, dimensions = data
+    result = ExplainPipeline(
+        relation,
+        "m",
+        dimensions,
+        config=ExplainConfig(use_filter=False, k_max=5),
+    ).run()
+    boundaries = result.boundaries
+    assert boundaries[0] == 0
+    assert boundaries[-1] == len(result.series) - 1
+    assert list(boundaries) == sorted(set(boundaries))
+    assert result.k == len(result.segments)
+    for segment in result.segments:
+        assert segment.start_label == result.series.label_at(segment.start)
+        assert segment.variance >= -1e-12
+    curve = list(result.k_variance_curve.values())
+    assert all(v >= -1e-9 for v in curve)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=small_relations(), k=st.integers(2, 3))
+def test_more_segments_never_increase_total_variance(data, k):
+    """On real costs D(n, K+1) <= D(n, K) (the K-variance curve decreases)."""
+    relation, dimensions = data
+    cube = ExplanationCube(relation, dimensions, "m", max_order=2)
+    scorer = SegmentScorer(cube)
+    solver = CascadingAnalysts(DrillDownTree(cube.explanations), m=3)
+    costs = SegmentationCosts(scorer, solver)
+    k = min(k, costs.n_points - 2)
+    if k < 1:
+        return
+    schemes = {s.k: s for s in solve_k_segmentation(costs.cost_matrix, k_max=k + 1)}
+    if k in schemes and k + 1 in schemes:
+        # Splitting a segment removes its objects' distances to a centroid
+        # and re-measures them against closer centroids; on unit-cost-0
+        # diagonals this can only help or tie.  Allow float slack.
+        assert schemes[k + 1].total_cost <= schemes[k].total_cost + 1e-6

@@ -1,0 +1,71 @@
+"""Tests for explain-by attribute recommendation (section 9 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.recommend import recommend_explain_by
+from repro.exceptions import QueryError
+from tests.conftest import build_relation
+
+
+def mixed_relation(n=40):
+    """'driver' explains the changes; 'shard' is a uniform partition;
+    'noise_id' is a high-cardinality attribute uncorrelated with change."""
+    rng = np.random.default_rng(0)
+    rows = {"t": [], "driver": [], "shard": [], "noise_id": [], "v": []}
+    for t in range(n):
+        for driver in ("up", "flat"):
+            for shard in ("s1", "s2"):
+                rows["t"].append(f"t{t:03d}")
+                rows["driver"].append(driver)
+                rows["shard"].append(shard)
+                rows["noise_id"].append(f"id{rng.integers(0, 30):02d}")
+                value = 5.0 + (3.0 * t if driver == "up" else 0.0)
+                rows["v"].append(value / 2.0)  # split evenly across shards
+    return build_relation(
+        rows,
+        dimensions=["driver", "shard", "noise_id"],
+        measures=["v"],
+        time="t",
+    )
+
+
+def test_driver_ranked_first():
+    scores = recommend_explain_by(mixed_relation(), "v")
+    assert scores[0].attribute == "driver"
+
+
+def test_uniform_shard_has_low_concentration():
+    scores = {s.attribute: s for s in recommend_explain_by(mixed_relation(), "v")}
+    # Both shards move identically: top-1 explains only ~half the change.
+    assert scores["shard"].concentration < 0.7
+    assert scores["driver"].concentration > 0.9
+
+
+def test_scores_sorted_descending():
+    scores = recommend_explain_by(mixed_relation(), "v")
+    values = [s.score for s in scores]
+    assert values == sorted(values, reverse=True)
+
+
+def test_coverage_bounds():
+    for score in recommend_explain_by(mixed_relation(), "v"):
+        assert 0.0 <= score.coverage <= 1.0
+        assert 0.0 <= score.concentration <= 1.0
+        assert score.cardinality >= 1
+
+
+def test_candidates_subset():
+    scores = recommend_explain_by(mixed_relation(), "v", candidates=["shard"])
+    assert [s.attribute for s in scores] == ["shard"]
+
+
+def test_no_candidates_rejected():
+    relation = mixed_relation().project(["t", "v"])
+    with pytest.raises(QueryError):
+        recommend_explain_by(relation, "v")
+
+
+def test_row_rendering():
+    score = recommend_explain_by(mixed_relation(), "v")[0]
+    assert "coverage=" in score.row()

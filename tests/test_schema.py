@@ -1,0 +1,66 @@
+"""Unit tests for relation schemas."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relation.schema import Attribute, AttributeKind, Schema
+
+
+def test_build_splits_kinds():
+    schema = Schema.build(dimensions=["state"], measures=["cases"], time="date")
+    assert schema.dimension_names() == ("state",)
+    assert schema.measure_names() == ("cases",)
+    assert schema.time_name() == "date"
+    assert schema.names == ("date", "state", "cases")
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(SchemaError):
+        Schema([Attribute("x", AttributeKind.DIMENSION), Attribute("x", AttributeKind.MEASURE)])
+
+
+def test_empty_attribute_name_rejected():
+    with pytest.raises(SchemaError):
+        Attribute("", AttributeKind.MEASURE)
+
+
+def test_attribute_lookup_and_contains():
+    schema = Schema.build(dimensions=["a"], measures=["m"])
+    assert schema.attribute("a").is_dimension
+    assert "a" in schema and "m" in schema and "zz" not in schema
+    with pytest.raises(SchemaError):
+        schema.attribute("zz")
+
+
+def test_require_time_raises_without_time():
+    schema = Schema.build(dimensions=["a"], measures=["m"])
+    assert schema.time_name() is None
+    with pytest.raises(SchemaError):
+        schema.require_time()
+
+
+def test_require_measure_and_dimension_guards():
+    schema = Schema.build(dimensions=["a"], measures=["m"], time="t")
+    assert schema.require_measure("m") == "m"
+    assert schema.require_dimension("a") == "a"
+    with pytest.raises(SchemaError):
+        schema.require_measure("a")
+    with pytest.raises(SchemaError):
+        schema.require_dimension("m")
+    with pytest.raises(SchemaError):
+        # The time attribute is not a plain dimension.
+        schema.require_dimension("t")
+
+
+def test_project_preserves_order_and_kind():
+    schema = Schema.build(dimensions=["a", "b"], measures=["m"], time="t")
+    projected = schema.project(["m", "a"])
+    assert projected.names == ("m", "a")
+    assert projected.attribute("m").is_measure
+
+
+def test_equality_is_structural():
+    left = Schema.build(dimensions=["a"], measures=["m"], time="t")
+    right = Schema.build(dimensions=["a"], measures=["m"], time="t")
+    assert left == right
+    assert left != Schema.build(dimensions=["a"], measures=["m"])

@@ -1,0 +1,64 @@
+"""Tests for classical seasonal decomposition (section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.seasonal import decompose
+from repro.exceptions import QueryError
+from repro.relation.timeseries import TimeSeries
+
+
+def seasonal_series(n=48, period=6):
+    t = np.arange(n, dtype=np.float64)
+    trend = 0.5 * t + 10.0
+    seasonal = 5.0 * np.sin(2 * np.pi * t / period)
+    return TimeSeries(trend + seasonal, [f"w{i}" for i in range(n)])
+
+
+def test_components_sum_to_observed():
+    series = seasonal_series()
+    decomposition = decompose(series, period=6)
+    reconstructed = (
+        decomposition.trend.values
+        + decomposition.seasonal.values
+        + decomposition.residual.values
+    )
+    assert np.allclose(reconstructed, series.values)
+
+
+def test_seasonal_component_is_periodic_and_centered():
+    decomposition = decompose(seasonal_series(), period=6)
+    seasonal = decomposition.seasonal.values
+    assert np.allclose(seasonal[:6], seasonal[6:12])
+    assert abs(seasonal[:6].mean()) < 1e-9
+
+
+def test_trend_captures_slope():
+    decomposition = decompose(seasonal_series(), period=6)
+    trend = decomposition.trend.values
+    # Linear trend slope ~0.5 in the interior.
+    slope = (trend[30] - trend[12]) / 18.0
+    assert slope == pytest.approx(0.5, abs=0.1)
+
+
+def test_residual_small_for_clean_signal():
+    decomposition = decompose(seasonal_series(), period=6)
+    interior = decomposition.residual.values[6:-6]
+    assert np.abs(interior).max() < 1.5
+
+
+def test_validation():
+    with pytest.raises(QueryError):
+        decompose(seasonal_series(), period=1)
+    with pytest.raises(QueryError):
+        decompose(seasonal_series(n=8, period=6), period=6)
+
+
+def test_components_accessor():
+    decomposition = decompose(seasonal_series(), period=6)
+    assert set(decomposition.components()) == {
+        "observed",
+        "trend",
+        "seasonal",
+        "residual",
+    }

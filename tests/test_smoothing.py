@@ -1,0 +1,74 @@
+"""Tests for moving-average smoothing of series and cubes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.smoothing import moving_average, smooth_cube, smooth_series
+from repro.cube.datacube import ExplanationCube
+from repro.exceptions import QueryError
+from repro.relation.timeseries import TimeSeries
+from tests.conftest import regime_relation
+
+
+def test_window_one_is_identity():
+    values = np.asarray([3.0, 1.0, 4.0])
+    assert moving_average(values, 1).tolist() == values.tolist()
+
+
+def test_centered_average():
+    values = np.asarray([0.0, 3.0, 6.0, 9.0])
+    out = moving_average(values, 3)
+    assert out[1] == pytest.approx(3.0)
+    assert out[2] == pytest.approx(6.0)
+    # Edges shrink their window instead of padding.
+    assert out[0] == pytest.approx(1.5)
+    assert out[-1] == pytest.approx(7.5)
+
+
+def test_constant_series_unchanged():
+    values = np.full(10, 4.2)
+    assert np.allclose(moving_average(values, 5), values)
+
+
+@given(
+    st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=40),
+    st.integers(1, 9),
+)
+def test_smoothing_stays_in_range(values, window):
+    values = np.asarray(values)
+    out = moving_average(values, window)
+    assert out.shape == values.shape
+    assert out.min() >= values.min() - 1e-9
+    assert out.max() <= values.max() + 1e-9
+
+
+def test_validation():
+    with pytest.raises(QueryError):
+        moving_average(np.zeros((2, 2)), 3)
+    with pytest.raises(QueryError):
+        moving_average(np.zeros(5), 0)
+
+
+def test_smooth_series_keeps_labels():
+    series = TimeSeries([1.0, 5.0, 1.0], ["a", "b", "c"])
+    smoothed = smooth_series(series, 3)
+    assert smoothed.labels == series.labels
+    assert smoothed.values[1] == pytest.approx(7.0 / 3)
+
+
+def test_smooth_cube_preserves_decomposition():
+    cube = ExplanationCube(regime_relation(), ["cat"], "sales")
+    smoothed = smooth_cube(cube, 5)
+    assert smoothed.n_explanations == cube.n_explanations
+    # Smoothing is linear: included + excluded still equals overall.
+    for index in range(smoothed.n_explanations):
+        assert np.allclose(
+            smoothed.included_values[index] + smoothed.excluded_values[index],
+            smoothed.overall_values,
+        )
+
+
+def test_smooth_cube_window_one_is_same_object():
+    cube = ExplanationCube(regime_relation(), ["cat"], "sales")
+    assert smooth_cube(cube, 1) is cube

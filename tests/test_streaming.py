@@ -1,0 +1,88 @@
+"""Tests for real-time incremental explanation (section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExplainConfig
+from repro.core.streaming import StreamingExplainer
+from repro.relation.schema import Schema
+from repro.relation.table import Relation
+from tests.conftest import regime_relation
+
+
+def rows_for(t_values, cat_fn):
+    rows = {"t": [], "cat": [], "sales": []}
+    for t in t_values:
+        for cat in ("a", "b", "c"):
+            rows["t"].append(f"t{t:03d}")
+            rows["cat"].append(cat)
+            rows["sales"].append(cat_fn(t, cat))
+    schema = Schema.build(dimensions=["cat"], measures=["sales"], time="t")
+    return Relation(rows, schema)
+
+
+@pytest.fixture
+def explainer():
+    return StreamingExplainer(
+        regime_relation(),
+        measure="sales",
+        explain_by=["cat"],
+        config=ExplainConfig(use_filter=False, k=2),
+    )
+
+
+def test_refresh_runs_full_pipeline(explainer):
+    result = explainer.refresh()
+    assert result.cuts == (12,)
+    assert explainer.result is result
+
+
+def test_update_before_refresh_triggers_full_run(explainer):
+    new = rows_for(range(24, 27), lambda t, cat: 70.0 if cat == "b" else 10.0)
+    result = explainer.update(new)
+    assert result is explainer.result
+    assert len(result.series) == 27
+
+
+def test_update_extends_series_and_keeps_old_cut(explainer):
+    explainer.refresh()
+    # New data continues the 'b' regime: the old cut must survive.
+    new = rows_for(
+        range(24, 32),
+        lambda t, cat: 10.0 + 5.0 * (t - 12) if cat == "b" else (58.0 if cat == "a" else 7.0),
+    )
+    result = explainer.update(new)
+    assert len(result.series) == 32
+    assert 12 in result.boundaries
+
+
+def test_update_detects_new_regime(explainer):
+    explainer.refresh()
+    # Category c suddenly explodes: a new cut appears in the new region.
+    new = rows_for(
+        range(24, 36),
+        lambda t, cat: 7.0 + 30.0 * (t - 23) if cat == "c" else (58.0 if cat == "a" else 70.0),
+    )
+    config_k = None  # let the elbow pick
+    explainer._config = explainer._config.updated(k=config_k)
+    result = explainer.update(new)
+    assert any(boundary >= 23 for boundary in result.cuts)
+    top_last = result.segments[-1].explanations[0].explanation
+    assert repr(top_last) == "cat=c"
+
+
+def test_incremental_matches_full_rerun_on_stable_data(explainer):
+    explainer.refresh()
+    new = rows_for(
+        range(24, 30),
+        lambda t, cat: 10.0 + 5.0 * (t - 12) if cat == "b" else (58.0 if cat == "a" else 7.0),
+    )
+    incremental = explainer.update(new)
+    full = StreamingExplainer(
+        explainer.relation,
+        measure="sales",
+        explain_by=["cat"],
+        config=ExplainConfig(use_filter=False, k=2),
+    ).refresh()
+    # The incremental cut must be (nearly) the full rerun's cut.
+    assert abs(incremental.cuts[0] - full.cuts[0]) <= 1

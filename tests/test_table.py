@@ -1,0 +1,97 @@
+"""Unit tests for the columnar Relation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError, SchemaError
+from repro.relation.predicates import Eq
+from repro.relation.schema import AttributeKind, Schema
+from repro.relation.table import Relation
+from tests.conftest import build_relation
+
+
+@pytest.fixture
+def relation():
+    return build_relation(
+        {"t": ["d1", "d1", "d2", "d2"], "cat": ["a", "b", "a", "b"], "v": [1.0, 2.0, 3.0, 4.0]},
+        dimensions=["cat"],
+        measures=["v"],
+        time="t",
+    )
+
+
+def test_basic_shape(relation):
+    assert relation.n_rows == 4
+    assert len(relation) == 4
+    assert relation.column("v").dtype == np.float64
+
+
+def test_missing_and_extra_columns_rejected():
+    schema = Schema.build(dimensions=["a"], measures=["m"])
+    with pytest.raises(SchemaError):
+        Relation({"a": ["x"]}, schema)
+    with pytest.raises(SchemaError):
+        Relation({"a": ["x"], "m": [1.0], "zz": [0]}, schema)
+
+
+def test_ragged_columns_rejected():
+    schema = Schema.build(dimensions=["a"], measures=["m"])
+    with pytest.raises(QueryError):
+        Relation({"a": ["x", "y"], "m": [1.0]}, schema)
+
+
+def test_filter_exclude_partition(relation):
+    kept = relation.filter(Eq("cat", "a"))
+    dropped = relation.exclude(Eq("cat", "a"))
+    assert kept.n_rows + dropped.n_rows == relation.n_rows
+    assert set(kept.column("cat")) == {"a"}
+    assert set(dropped.column("cat")) == {"b"}
+
+
+def test_from_rows_round_trip(relation):
+    rebuilt = Relation.from_rows(relation.to_rows(), relation.schema)
+    assert rebuilt.equals(relation)
+
+
+def test_project_and_with_column(relation):
+    projected = relation.project(["cat", "v"])
+    assert projected.schema.names == ("cat", "v")
+    extended = relation.with_column("w", [1, 1, 2, 2], AttributeKind.DIMENSION)
+    assert extended.schema.names == ("t", "cat", "v", "w")
+    with pytest.raises(SchemaError):
+        relation.with_column("v", [0, 0, 0, 0], AttributeKind.MEASURE)
+
+
+def test_concat_requires_same_schema(relation):
+    doubled = relation.concat(relation)
+    assert doubled.n_rows == 8
+    other = build_relation({"x": ["q"], "m": [0.0]}, dimensions=["x"], measures=["m"])
+    with pytest.raises(SchemaError):
+        relation.concat(other)
+
+
+def test_sort_head_distinct(relation):
+    assert relation.sort_by("v").column("v")[0] == 1.0
+    assert relation.head(2).n_rows == 2
+    assert list(relation.distinct_values("cat")) == ["a", "b"]
+
+
+def test_encode_and_time_positions(relation):
+    codes, values = relation.encode("cat")
+    assert list(values) == ["a", "b"]
+    assert codes.tolist() == [0, 1, 0, 1]
+    positions, labels = relation.time_positions()
+    assert labels == ("d1", "d2")
+    assert positions.tolist() == [0, 0, 1, 1]
+
+
+def test_empty_relation():
+    schema = Schema.build(dimensions=["a"], measures=["m"], time="t")
+    empty = Relation.empty(schema)
+    assert empty.n_rows == 0
+    assert empty.to_rows() == []
+
+
+def test_take_with_indices(relation):
+    taken = relation.take(np.asarray([2, 0]))
+    assert taken.column("v").tolist() == [3.0, 1.0]

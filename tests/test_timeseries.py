@@ -1,0 +1,79 @@
+"""Unit tests for TimeSeries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.relation.timeseries import TimeSeries
+
+
+def test_construction_and_access():
+    ts = TimeSeries([1.0, 2.0, 4.0], ["a", "b", "c"])
+    assert len(ts) == 3
+    assert ts[1] == 2.0
+    assert ts.label_at(2) == "c"
+    assert ts.position_of("b") == 1
+
+
+def test_default_integer_labels():
+    ts = TimeSeries([5.0, 6.0])
+    assert ts.labels == (0, 1)
+
+
+def test_label_value_mismatch():
+    with pytest.raises(QueryError):
+        TimeSeries([1.0], ["a", "b"])
+
+
+def test_duplicate_labels_rejected():
+    with pytest.raises(QueryError):
+        TimeSeries([1.0, 2.0], ["a", "a"])
+
+
+def test_unknown_label():
+    ts = TimeSeries([1.0], ["a"])
+    with pytest.raises(QueryError):
+        ts.position_of("zz")
+
+
+def test_window_inclusive_bounds():
+    ts = TimeSeries([1.0, 2.0, 3.0, 4.0], list("abcd"))
+    window = ts.window(1, 2)
+    assert window.values.tolist() == [2.0, 3.0]
+    assert window.labels == ("b", "c")
+    with pytest.raises(QueryError):
+        ts.window(2, 1)
+    with pytest.raises(QueryError):
+        ts.window(0, 9)
+
+
+def test_change_is_endpoint_difference():
+    ts = TimeSeries([1.0, 5.0, 2.0])
+    assert ts.change(0, 2) == 1.0
+
+
+def test_arithmetic_alignment():
+    left = TimeSeries([1.0, 2.0], ["a", "b"])
+    right = TimeSeries([3.0, 5.0], ["a", "b"])
+    assert (left + right).values.tolist() == [4.0, 7.0]
+    assert (right - left).values.tolist() == [2.0, 3.0]
+    assert left.scale(2.0).values.tolist() == [2.0, 4.0]
+    misaligned = TimeSeries([0.0, 0.0], ["a", "zz"])
+    with pytest.raises(QueryError):
+        left + misaligned
+
+
+def test_cumulative_diff_inverse():
+    ts = TimeSeries([3.0, 1.0, 4.0, 1.0])
+    assert np.allclose(ts.cumulative().diff().values, ts.values)
+
+
+def test_from_pairs_and_equality():
+    ts = TimeSeries.from_pairs([("a", 1.0), ("b", 2.0)])
+    assert ts == TimeSeries([1.0, 2.0], ["a", "b"])
+    assert ts != TimeSeries([1.0, 3.0], ["a", "b"])
+
+
+def test_multidimensional_rejected():
+    with pytest.raises(QueryError):
+        TimeSeries(np.zeros((2, 2)))
