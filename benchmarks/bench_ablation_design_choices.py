@@ -1,4 +1,4 @@
-"""Ablations of the design choices DESIGN.md calls out.
+"""Ablations of the reproduction's notable design choices.
 
 1. Support-filter ratio: epsilon shrinkage vs result quality.
 2. Guess-and-verify initial prefix size: verification rounds vs latency.

@@ -2,7 +2,7 @@
 and time series length n.
 
 Paper values: covid 58/54-55/345, S&P 500 610/329/151, Liquor 8197/1812/128.
-Our simulations reproduce the cardinalities except where DESIGN.md records
+Our simulations reproduce the cardinalities except where the dataset modules' docstrings record
 a substitution (S&P has 190 trading days without the paper's data gaps;
 liquor's epsilon scales with the simulated product count).
 """

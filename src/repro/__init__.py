@@ -3,7 +3,8 @@
 TSExplain explains an aggregated time series by segmenting it into periods
 with *consistent top contributors* and reporting each period's top-m
 non-overlapping explanations.  See ``README.md`` for a tour and
-``DESIGN.md`` for the system inventory.
+``docs/ARCHITECTURE.md`` for the module map, the two-tier
+prepare/run design and the rollup-cache invalidation contract.
 """
 
 from repro.core.config import ExplainConfig

@@ -6,8 +6,10 @@ nearest neighbours.  Our implementation follows that idea directly: the
 novelty score of position ``i`` is the z-normalized Euclidean distance
 between the window ending at ``i`` and the window starting at ``i``; high
 local maxima of the (smoothed) novelty curve are change points, extracted
-greedily with an exclusion zone like FLUSS.  The substitution is recorded
-in ``DESIGN.md`` — the authors' original code is unavailable offline.
+greedily with an exclusion zone like FLUSS.  This is a faithful
+substitution, not a port — the authors' original code is unavailable
+offline (see ``docs/ARCHITECTURE.md`` for where baselines sit in the
+system).
 """
 
 from __future__ import annotations

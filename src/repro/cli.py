@@ -11,6 +11,12 @@ Commands
     Rank candidate explain-by attributes for a query.
 ``datasets``
     List the bundled datasets.
+``cache``
+    Manage the persistent rollup cache: ``build`` the cube for a query
+    ahead of time, ``inspect`` the stored entries, ``clear`` them.
+    Prewarmed entries are keyed on the *full* relation, so they serve
+    whole-series ``explain`` runs; a windowed ``explain --start/--stop``
+    explains different data and builds (and caches) its own cube.
 
 Examples
 --------
@@ -22,6 +28,10 @@ Examples
     python -m repro diff --dataset covid-total \\
         --start 2020-03-01 --stop 2020-06-01
     python -m repro recommend --dataset liquor
+    python -m repro cache build --dataset sp500 --cache-dir ./cube-cache
+    python -m repro explain --dataset sp500 --cache-dir ./cube-cache
+    python -m repro cache inspect --cache-dir ./cube-cache
+    python -m repro cache clear --cache-dir ./cube-cache
 """
 
 from __future__ import annotations
@@ -32,7 +42,9 @@ from typing import Sequence
 
 from repro.core.config import ExplainConfig
 from repro.core.engine import TSExplain
+from repro.core.pipeline import ExplainPipeline
 from repro.core.recommend import recommend_explain_by
+from repro.cube.cache import RollupCache, cube_key
 from repro.datasets.base import Dataset
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.exceptions import ReproError
@@ -113,6 +125,10 @@ def _build_config(args: argparse.Namespace, dataset: Dataset) -> ExplainConfig:
         smoothing = dataset.smoothing_window
     if smoothing is not None and smoothing > 1:
         overrides["smoothing_window"] = smoothing
+    if getattr(args, "cache_dir", None):
+        overrides["cache_dir"] = args.cache_dir
+    if getattr(args, "max_order", None) is not None:
+        overrides["max_order"] = args.max_order
     return config.updated(**overrides) if overrides else config
 
 
@@ -168,6 +184,71 @@ def _command_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache(args: argparse.Namespace) -> int:
+    cache = RollupCache(args.cache_dir)
+    if args.action == "inspect":
+        entries = cache.entries()
+        if not entries:
+            print(f"cache at {cache.directory} is empty")
+            return 0
+        total = 0
+        for entry in entries:
+            total += entry.size_bytes
+            print(entry.row())
+        print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, {total} bytes")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached cube(s) from {cache.directory}")
+        return 0
+    # action == "build": warm the cache for a query without running the
+    # segmentation — exactly the prepare phase the next explain will skip.
+    dataset = _load_source(args)
+    # Vanilla config: the stored artifact is the *raw* cube, so the
+    # reported epsilon matches what later (filtered or not) runs reuse.
+    # max_order is only overridden when given, so build and explain share
+    # the ExplainConfig default and prewarmed entries keep matching.
+    overrides = {"cache_dir": args.cache_dir}
+    if args.max_order is not None:
+        overrides["max_order"] = args.max_order
+    config = ExplainConfig.vanilla(**overrides)
+    explain_by = _explain_by(args, dataset)
+    pipeline = ExplainPipeline(
+        dataset.relation,
+        dataset.measure,
+        explain_by,
+        aggregate=dataset.aggregate,
+        config=config,
+    )
+    scorer = pipeline.prepare()
+    stats = f"epsilon={scorer.cube.n_explanations} n={scorer.cube.n_times}"
+    if pipeline.cache_hit:
+        print(f"reused existing entry: {stats} under {cache.directory}")
+        return 0
+    # prepare() degrades store failures to an uncached build; a prewarm
+    # command must not report success unless the entry really landed.
+    # Re-deriving the key here is safe because the CLI only ever passes
+    # registry aggregate names (strings), so load_or_build's off-registry
+    # bypass can never make this lookup disagree with the pipeline's.
+    key = cube_key(
+        dataset.relation,
+        dataset.measure,
+        explain_by,
+        aggregate=dataset.aggregate,
+        max_order=config.max_order,
+        deduplicate=config.deduplicate,
+    )
+    if cache.load(key) is not None:  # round-trips, not merely exists
+        print(f"built and stored: {stats} under {cache.directory}")
+        return 0
+    print(
+        f"built but NOT stored: {stats} — cache directory {cache.directory} "
+        "is not writable or the query's labels are not cacheable",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def _command_datasets(_: argparse.Namespace) -> int:
     for name in available_datasets():
         dataset = load_dataset(name) if name != "liquor" else load_dataset(name, n_products=50)
@@ -199,6 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="table",
         help="output style",
     )
+    explain.add_argument(
+        "--cache-dir",
+        help="rollup-cache directory; reuses a previously built cube when possible",
+    )
+    explain.add_argument(
+        "--max-order",
+        type=int,
+        help="candidate order threshold beta_max (default 3); must match any "
+        "`cache build --max-order` prewarm for the cache to hit",
+    )
     explain.set_defaults(handler=_command_explain)
 
     diff = commands.add_parser("diff", help="two-point diff between timestamps")
@@ -212,6 +303,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_source_arguments(recommend)
     recommend.add_argument("--m", type=int, help="probe quota (default 3)")
     recommend.set_defaults(handler=_command_recommend)
+
+    cache = commands.add_parser("cache", help="manage the persistent rollup cache")
+    cache.add_argument(
+        "action",
+        choices=("build", "inspect", "clear"),
+        help="build: precompute a query's cube; inspect: list entries; clear: delete them",
+    )
+    cache.add_argument("--cache-dir", required=True, help="cache directory")
+    cache.add_argument(
+        "--max-order", type=int, help="candidate order threshold for build (default 3)"
+    )
+    _add_source_arguments(cache)
+    cache.set_defaults(handler=_command_cache)
 
     datasets = commands.add_parser("datasets", help="list bundled datasets")
     datasets.set_defaults(handler=_command_datasets)

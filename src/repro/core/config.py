@@ -51,6 +51,24 @@ class ExplainConfig:
         section 7.4); ``None`` disables smoothing.
     deduplicate:
         Drop containment-redundant candidate conjunctions.
+    cache_dir:
+        Directory of the persistent rollup cache
+        (:class:`repro.cube.cache.RollupCache`).  When set, the pipeline
+        loads the raw explanation cube from disk if an entry matches the
+        relation fingerprint and query parameters, and stores freshly
+        built cubes for later runs; ``None`` (default) disables caching.
+        Smoothing and the support filter are applied after the cached
+        cube is loaded, so one entry serves many configurations.
+    cache_max_entries:
+        Upper bound on the number of entries kept in ``cache_dir``;
+        stores beyond it evict the least-recently-used entries.  Set
+        this for workloads that produce unboundedly many distinct cubes
+        (e.g. streaming, where every snapshot has a fresh fingerprint).
+        ``None`` (default) keeps the cache unbounded.
+    columnar:
+        Use the vectorized columnar cube build (default).  ``False``
+        selects the legacy per-candidate finalize loop — identical
+        results, only slower; kept for benchmarking.
     """
 
     m: int = 3
@@ -68,6 +86,9 @@ class ExplainConfig:
     sketch_size: int | None = None
     smoothing_window: int | None = None
     deduplicate: bool = True
+    cache_dir: str | None = None
+    cache_max_entries: int | None = None
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.m < 1:
@@ -97,6 +118,12 @@ class ExplainConfig:
         if self.smoothing_window is not None and self.smoothing_window < 1:
             raise ConfigError(
                 f"smoothing_window must be >= 1, got {self.smoothing_window}"
+            )
+        if self.cache_dir is not None and not str(self.cache_dir).strip():
+            raise ConfigError("cache_dir must be a non-empty path or None")
+        if self.cache_max_entries is not None and self.cache_max_entries < 1:
+            raise ConfigError(
+                f"cache_max_entries must be >= 1, got {self.cache_max_entries}"
             )
 
     # ------------------------------------------------------------------

@@ -45,7 +45,13 @@ class TSExplain:
         Time attribute ``T``; defaults to the schema's time attribute.
     config:
         Pipeline configuration; keyword overrides may be passed instead,
-        e.g. ``TSExplain(..., k=6, use_sketch=True)``.
+        e.g. ``TSExplain(..., k=6, use_sketch=True)``.  Notably,
+        ``TSExplain(..., cache_dir="~/.repro-cache")`` enables the
+        persistent rollup cache: the first :meth:`explain` builds and
+        stores the explanation cube, later calls (including from other
+        processes) load it from disk and skip the prepare phase, as long
+        as the relation and the cube parameters are unchanged (see
+        :mod:`repro.cube.cache` for the invalidation contract).
     """
 
     def __init__(
@@ -126,7 +132,8 @@ class TSExplain:
 
         The control relation is the data at ``start`` and the test relation
         the data at ``stop`` (Example 3.1); returns the top-m
-        non-overlapping explanations of their difference.
+        non-overlapping explanations of their difference, using the
+        pipeline's public :meth:`~repro.core.pipeline.ExplainPipeline.solver`.
         """
         pipeline = ExplainPipeline(
             self._window(None, None),
@@ -137,7 +144,7 @@ class TSExplain:
             config=self._config if m is None else self._config.updated(m=m),
         )
         scorer = pipeline.prepare()
-        solver = pipeline._build_solver(scorer)
+        solver = pipeline.solver(scorer)
         series = scorer.cube.overall_series()
         start_pos = series.position_of(start)
         stop_pos = series.position_of(stop)

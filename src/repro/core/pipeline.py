@@ -1,7 +1,9 @@
 """The three-module TSExplain pipeline (paper Figure 7).
 
-(a) *Precomputation*: build the explanation cube (difference scores become
-O(1) lookups), apply smoothing and the support filter.
+(a) *Precomputation*: build the explanation cube columnar-ly (difference
+scores become O(1) lookups) — or load it from the persistent rollup cache
+when :attr:`~repro.core.config.ExplainConfig.cache_dir` is set — then
+apply smoothing and the support filter.
 (b) *Cascading Analysts*: top-m non-overlapping explanations per segment,
 optionally through guess-and-verify (O1).
 (c) *K-Segmentation*: NDCG-based segment costs, the Eq. 11 dynamic program,
@@ -23,6 +25,7 @@ from repro.ca.guess_verify import GuessAndVerify
 from repro.core.config import ExplainConfig
 from repro.core.result import ExplainResult, SegmentExplanation
 from repro.core.smoothing import smooth_cube
+from repro.cube.cache import RollupCache, load_or_build
 from repro.cube.datacube import ExplanationCube
 from repro.cube.filters import apply_support_filter
 from repro.diff.scorer import ScoredExplanation, SegmentScorer
@@ -73,20 +76,46 @@ class ExplainPipeline:
         self._scorer: SegmentScorer | None = None
         self._epsilon = 0
         self._filtered_epsilon = 0
+        self._cache_hit: bool | None = None
 
     @property
     def config(self) -> ExplainConfig:
         return self._config
 
+    @property
+    def cache_hit(self) -> bool | None:
+        """Whether :meth:`prepare` served the cube from the rollup cache.
+
+        ``None`` until :meth:`prepare` has run or when no ``cache_dir`` is
+        configured; otherwise ``True`` (loaded from disk, build skipped)
+        or ``False`` (built from the relation, and stored when the entry
+        could be persisted — store failures degrade to an uncached build).
+        """
+        return self._cache_hit
+
     # ------------------------------------------------------------------
     # Module (a): precomputation
     # ------------------------------------------------------------------
     def prepare(self) -> SegmentScorer:
-        """Build cube, smoothing, filter and scorer (idempotent)."""
+        """Build or cache-load the cube, then smooth, filter and wrap it.
+
+        Idempotent: repeated calls return the same scorer.  When the
+        config names a ``cache_dir``, the raw cube is looked up in the
+        :class:`~repro.cube.cache.RollupCache` first (see that module for
+        the invalidation contract) and stored there after a fresh build;
+        smoothing and the support filter always run on the loaded/built
+        cube because they depend on per-query configuration.
+        """
         if self._scorer is not None:
             return self._scorer
         config = self._config
-        cube = ExplanationCube(
+        cache = (
+            RollupCache(config.cache_dir, max_entries=config.cache_max_entries)
+            if config.cache_dir
+            else None
+        )
+        cube, hit = load_or_build(
+            cache,
             self._relation,
             self._explain_by,
             self._measure,
@@ -94,7 +123,10 @@ class ExplainPipeline:
             time_attr=self._time_attr,
             max_order=config.max_order,
             deduplicate=config.deduplicate,
+            columnar=config.columnar,
         )
+        if cache is not None:
+            self._cache_hit = hit
         self._epsilon = cube.n_explanations
         if config.smoothing_window is not None:
             cube = smooth_cube(cube, config.smoothing_window)
@@ -106,8 +138,18 @@ class ExplainPipeline:
         return self._scorer
 
     # ------------------------------------------------------------------
-    def _build_solver(self, scorer: SegmentScorer):
-        """Module (b) solver: plain CA, or guess-and-verify when enabled."""
+    def solver(self, scorer: SegmentScorer | None = None):
+        """Module (b) top-m solver bound to this pipeline's configuration.
+
+        Returns plain :class:`~repro.ca.cascade.CascadingAnalysts`, or
+        :class:`~repro.ca.guess_verify.GuessAndVerify` when optimization
+        O1 is enabled and the candidate set is hierarchical.  ``scorer``
+        defaults to :meth:`prepare`'s result; pass one explicitly to bind
+        the solver to a restricted or smoothed cube.  This is the public
+        entry point callers (engine, streaming, evaluation) should use.
+        """
+        if scorer is None:
+            scorer = self.prepare()
         tree = DrillDownTree(scorer.cube.explanations)
         if self._config.use_guess_verify and not tree.is_flat:
             return GuessAndVerify(
@@ -116,6 +158,9 @@ class ExplainPipeline:
                 initial_guess=max(self._config.initial_guess, self._config.m),
             )
         return CascadingAnalysts(tree, m=self._config.m)
+
+    # Backwards-compatible alias for the pre-1.1 private name.
+    _build_solver = solver
 
     # ------------------------------------------------------------------
     # Full run
@@ -127,7 +172,7 @@ class ExplainPipeline:
 
         started = time.perf_counter()
         scorer = self.prepare()
-        solver = self._build_solver(scorer)
+        solver = self.solver(scorer)
         timings["precomputation"] += time.perf_counter() - started
 
         n_times = scorer.cube.n_times
@@ -210,7 +255,7 @@ class ExplainPipeline:
             ]
         else:
             evaluation_started = time.perf_counter()
-            solver = self._build_solver(scorer)
+            solver = self.solver(scorer)
             total_variance, per_segment = scheme_total_variance(
                 scorer,
                 solver,

@@ -59,9 +59,9 @@ def smooth_cube(cube: ExplanationCube, window: int) -> ExplanationCube:
     excluded = np.vstack(
         [moving_average(row, window) for row in cube.excluded_values]
     ) if cube.n_explanations else cube.excluded_values.copy()
-    return ExplanationCube._from_arrays(
-        aggregate=cube._aggregate,
-        measure=cube._measure,
+    return ExplanationCube.from_arrays(
+        aggregate=cube.aggregate,
+        measure=cube.measure,
         explain_by=cube.explain_by,
         labels=cube.labels,
         overall=overall,

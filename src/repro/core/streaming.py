@@ -40,7 +40,17 @@ class StreamingExplainer:
         Initial rows (may be empty of *later* timestamps; new rows arrive
         via :meth:`update`).
     measure / explain_by / aggregate / time_attr / config:
-        As in :class:`~repro.core.engine.TSExplain`.
+        As in :class:`~repro.core.engine.TSExplain`.  A config with
+        ``cache_dir`` set makes every :meth:`update` store its rebuilt
+        cube in the rollup cache, so a restarted (or concurrently
+        replayed) stream re-serves already-seen snapshots from disk
+        instead of rescanning them.  Because every snapshot has a fresh
+        fingerprint, pair ``cache_dir`` with ``cache_max_entries`` on
+        long-running streams to keep the directory bounded — and note
+        that each update then pays a whole-relation fingerprint plus a
+        compressed cube write that only pays off on replay, so leave
+        ``cache_dir`` unset for high-frequency streams that are never
+        replayed.
     """
 
     def __init__(
@@ -112,7 +122,7 @@ class StreamingExplainer:
             config=self._config,
         )
         scorer = pipeline.prepare()
-        solver = pipeline._build_solver(scorer)
+        solver = pipeline.solver(scorer)
         costs = SegmentationCosts(
             scorer,
             solver,

@@ -1,5 +1,7 @@
-"""Explanation candidates and the per-explanation time-series data cube."""
+"""Explanation candidates, the per-explanation time-series data cube, and
+the persistent rollup cache that makes built cubes reusable artifacts."""
 
+from repro.cube.cache import CacheEntry, CubeKey, RollupCache, cube_key, load_or_build
 from repro.cube.datacube import ExplanationCube
 from repro.cube.explanations import CandidateSet, enumerate_candidates
 from repro.cube.filters import (
@@ -9,10 +11,15 @@ from repro.cube.filters import (
 )
 
 __all__ = [
+    "CacheEntry",
     "CandidateSet",
+    "CubeKey",
     "DEFAULT_FILTER_RATIO",
     "ExplanationCube",
+    "RollupCache",
     "apply_support_filter",
+    "cube_key",
     "enumerate_candidates",
+    "load_or_build",
     "support_filter_mask",
 ]

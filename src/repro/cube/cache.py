@@ -1,0 +1,420 @@
+"""Persistent rollup cache for built explanation cubes.
+
+Building the explanation cube is the *prepare* phase of TSExplain's
+two-tier design: expensive once, then every difference score is an O(1)
+lookup.  This module makes that prepare phase a reusable on-disk artifact,
+in the spirit of two-tier OLAP rollup stores (prepare once, query in
+milliseconds): a built :class:`~repro.cube.datacube.ExplanationCube` is
+serialized under a key derived from the relation fingerprint and the query
+parameters, and any later explain over the same data and parameters loads
+the rollup instead of rescanning the relation.
+
+Cache invalidation contract
+---------------------------
+A cached cube is served only when **all** components of its
+:class:`CubeKey` match:
+
+* ``fingerprint`` — SHA-256 of the relation's schema and cell contents
+  (:meth:`repro.relation.table.Relation.fingerprint`), so any data change
+  invalidates the entry;
+* ``measure``, ``explain_by`` (order-insensitive), ``aggregate``,
+  ``time_attr``, ``max_order`` and ``deduplicate`` — the parameters that
+  shape the cube itself.
+
+Everything applied *after* the raw cube — smoothing, the support filter,
+the difference metric, ``k``/``m`` — is deliberately **not** part of the
+key: the cache stores the raw rollup and the pipeline re-applies those
+cheap per-query transforms on load, so one cached build serves many
+configurations.  A corrupted, truncated or otherwise unreadable entry is
+treated as a miss and the cube is rebuilt (and re-stored) from the
+relation; stores are atomic (write to a temp file, then rename), so a
+crashed writer can never leave a half-written entry that poisons later
+runs.
+
+On-disk format
+--------------
+Each entry is an ``.npz`` archive: the four series arrays plus a JSON
+header (key, labels, explanation items, counts) encoded as a ``uint8``
+member.  Deliberately **no pickle** — entries are loaded with
+``allow_pickle=False``, so a crafted file in a shared cache directory can
+corrupt at most itself, never execute code in the reader.  JSON confines
+labels and explanation values to str/int/float/bool/None; that is what
+relations produce (``.item()``-converted scalars), and anything else
+fails the store loudly rather than silently widening the format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.cube.datacube import ExplanationCube
+from repro.exceptions import AggregateError
+from repro.relation.aggregates import AggregateFunction, get_aggregate
+from repro.relation.predicates import Conjunction
+from repro.relation.table import Relation
+
+#: Bump when the on-disk payload layout changes; older entries then read
+#: as misses and are rebuilt.
+CACHE_FORMAT = 1
+
+#: Filename suffix of cache entries.
+CACHE_SUFFIX = ".cube.npz"
+
+
+@dataclass(frozen=True)
+class CubeKey:
+    """Everything that determines the bytes of a raw explanation cube."""
+
+    fingerprint: str
+    measure: str
+    explain_by: tuple[str, ...]
+    aggregate: str
+    time_attr: str
+    max_order: int
+    deduplicate: bool
+
+    def digest(self) -> str:
+        """Filename-safe hex digest of the full key."""
+        return hashlib.sha256(repr(asdict(self)).encode("utf-8")).hexdigest()
+
+
+def cube_key(
+    relation: Relation,
+    measure: str,
+    explain_by: Sequence[str],
+    aggregate: str | AggregateFunction = "sum",
+    time_attr: str | None = None,
+    max_order: int = 3,
+    deduplicate: bool = True,
+) -> CubeKey:
+    """The cache key a cube build over these inputs resolves to.
+
+    Mirrors :class:`~repro.cube.datacube.ExplanationCube`'s parameter
+    normalization: the aggregate is resolved to its registry name, the
+    time attribute to the schema's time attribute, and ``explain_by`` is
+    sorted (the cube sorts it too, so attribute order never splits the
+    cache).
+    """
+    if isinstance(aggregate, str):
+        aggregate = get_aggregate(aggregate)
+    return CubeKey(
+        fingerprint=relation.fingerprint(),
+        measure=measure,
+        explain_by=tuple(sorted(explain_by)),
+        aggregate=aggregate.name,
+        time_attr=time_attr or relation.schema.require_time(),
+        max_order=max_order,
+        deduplicate=deduplicate,
+    )
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one on-disk cache entry (``repro cache inspect``)."""
+
+    path: Path
+    size_bytes: int
+    valid: bool
+    key: CubeKey | None = None
+    n_explanations: int = 0
+    n_times: int = 0
+
+    def row(self) -> str:
+        """One human-readable line for CLI listings."""
+        name = self.path.name
+        if not self.valid or self.key is None:
+            return f"{name}  CORRUPT ({self.size_bytes} bytes)"
+        return (
+            f"{name[:16]}…  measure={self.key.measure} "
+            f"explain_by={list(self.key.explain_by)} agg={self.key.aggregate} "
+            f"max_order={self.key.max_order} epsilon={self.n_explanations} "
+            f"n={self.n_times} ({self.size_bytes} bytes)"
+        )
+
+
+class RollupCache:
+    """A directory of serialized explanation cubes keyed by :class:`CubeKey`.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; ``~`` is expanded.  The directory is created (with
+        parents) lazily by the first :meth:`store`, so read-only
+        operations (``load``/``entries``/``clear``) never leave stray
+        directories behind a mistyped path.  Safe to share between
+        queries and datasets — entries are content-addressed by the key
+        digest.
+    max_entries:
+        When set, :meth:`store` evicts the least-recently-used entries
+        (by file access/modification time) once the directory holds more
+        than this many — the bound that keeps e.g. a long-running
+        streaming workload, whose every snapshot has a fresh fingerprint,
+        from growing the cache without limit.  ``None`` (default) means
+        unbounded.
+    """
+
+    def __init__(self, directory: str | Path, max_entries: int | None = None):
+        self._directory = Path(directory).expanduser()
+        self._max_entries = max_entries
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def path_for(self, key: CubeKey) -> Path:
+        """The file path the given key is stored under."""
+        return self._directory / f"{key.digest()}{CACHE_SUFFIX}"
+
+    # ------------------------------------------------------------------
+    # Load / store
+    # ------------------------------------------------------------------
+    def load(self, key: CubeKey) -> ExplanationCube | None:
+        """The cached cube for ``key``, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                header = _read_header(data)
+                if header["format"] != CACHE_FORMAT or header["key"] != _key_dict(key):
+                    return None
+                explanations = tuple(
+                    Conjunction.from_items(
+                        (name, value) for name, value in items
+                    )
+                    for items in header["explanations"]
+                )
+                cube = ExplanationCube.from_arrays(
+                    aggregate=get_aggregate(header["aggregate"]),
+                    measure=header["measure"],
+                    explain_by=tuple(header["explain_by"]),
+                    labels=tuple(header["labels"]),
+                    overall=np.asarray(data["overall"], dtype=np.float64),
+                    explanations=explanations,
+                    supports=np.asarray(data["supports"], dtype=np.int64),
+                    included=np.asarray(data["included"], dtype=np.float64),
+                    excluded=np.asarray(data["excluded"], dtype=np.float64),
+                )
+            # Mark the entry as recently used so LRU eviction keeps hot
+            # entries alive.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+            return cube
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Unreadable entries (truncated writes, foreign files, format
+            # drift) are misses, not errors: the caller rebuilds from the
+            # relation and overwrites the entry.
+            return None
+
+    def store(self, key: CubeKey, cube: ExplanationCube) -> Path:
+        """Atomically persist a built cube under ``key``; returns the path.
+
+        Raises ``TypeError`` if the cube's labels or explanation values
+        are not JSON scalars (str/int/float/bool/None) — relations only
+        produce such scalars, so this fires for hand-built cubes only.
+        """
+        header = {
+            "format": CACHE_FORMAT,
+            "key": _key_dict(key),
+            "aggregate": cube.aggregate.name,
+            "measure": cube.measure,
+            "explain_by": list(cube.explain_by),
+            "labels": list(cube.labels),
+            "explanations": [
+                [[name, value] for name, value in conj.items]
+                for conj in cube.explanations
+            ],
+            "n_explanations": cube.n_explanations,
+            "n_times": cube.n_times,
+        }
+        header_bytes = json.dumps(header, allow_nan=True).encode("utf-8")
+        path = self.path_for(key)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self._directory, suffix=f"{CACHE_SUFFIX}.tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                np.savez_compressed(
+                    tmp,
+                    header=np.frombuffer(header_bytes, dtype=np.uint8),
+                    overall=cube.overall_values,
+                    supports=cube.supports,
+                    included=cube.included_values,
+                    excluded=cube.excluded_values,
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._evict()
+        return path
+
+    def _evict(self) -> None:
+        """Drop the oldest entries beyond ``max_entries`` (newest survive)."""
+        if self._max_entries is None:
+            return
+        paths = list(self._directory.glob(f"*{CACHE_SUFFIX}"))
+        if len(paths) <= self._max_entries:
+            return
+        def age(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+        paths.sort(key=age)
+        for path in paths[: len(paths) - self._max_entries]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Maintenance (``repro cache inspect`` / ``repro cache clear``)
+    # ------------------------------------------------------------------
+    def entries(self) -> list[CacheEntry]:
+        """Metadata for every entry in the cache directory (sorted by name).
+
+        Only each entry's JSON header is decompressed — the series
+        arrays stay on disk, so inspecting a multi-gigabyte cache is
+        cheap.
+        """
+        rows: list[CacheEntry] = []
+        if not self._directory.is_dir():
+            return rows
+        for path in sorted(self._directory.glob(f"*{CACHE_SUFFIX}")):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                # Deleted by a concurrent clear()/eviction between the
+                # glob and the stat — nothing left to report.
+                continue
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    header = _read_header(data)
+                if header["format"] != CACHE_FORMAT:
+                    raise ValueError("format mismatch")
+                key_fields = dict(header["key"])
+                key_fields["explain_by"] = tuple(key_fields["explain_by"])
+                rows.append(
+                    CacheEntry(
+                        path=path,
+                        size_bytes=size,
+                        valid=True,
+                        key=CubeKey(**key_fields),
+                        n_explanations=int(header["n_explanations"]),
+                        n_times=int(header["n_times"]),
+                    )
+                )
+            except Exception:
+                rows.append(CacheEntry(path=path, size_bytes=size, valid=False))
+        return rows
+
+    def clear(self) -> int:
+        """Delete every cache entry (and any orphaned temp file left by a
+        crashed writer); returns the number of files removed."""
+        removed = 0
+        if not self._directory.is_dir():
+            return removed
+        for pattern in (f"*{CACHE_SUFFIX}", f"*{CACHE_SUFFIX}.tmp"):
+            for path in self._directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+def _key_dict(key: CubeKey) -> dict:
+    """JSON-shaped rendering of a key (tuples become lists)."""
+    rendered = asdict(key)
+    rendered["explain_by"] = list(rendered["explain_by"])
+    return rendered
+
+
+def _read_header(data: "np.lib.npyio.NpzFile") -> dict:
+    """Decode the JSON header member of an entry archive."""
+    return json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+
+
+def load_or_build(
+    cache: RollupCache | None,
+    relation: Relation,
+    explain_by: Sequence[str],
+    measure: str,
+    aggregate: str | AggregateFunction = "sum",
+    time_attr: str | None = None,
+    max_order: int = 3,
+    deduplicate: bool = True,
+    columnar: bool = True,
+) -> tuple[ExplanationCube, bool]:
+    """Serve a cube from the cache, building and storing it on a miss.
+
+    Returns ``(cube, cache_hit)``.  With ``cache=None`` this is a plain
+    build (``cache_hit`` is ``False``); this is the one entry point the
+    pipeline, the streaming engine and the ``repro cache build`` CLI all
+    share.
+
+    Two classes of query quietly bypass the cache rather than failing or
+    mis-serving: custom :class:`AggregateFunction` instances that are not
+    the registry's own (the key stores only the aggregate *name*, so an
+    off-registry instance could collide with or shadow a registered one),
+    and cubes whose labels/values are not JSON scalars (``store`` would
+    reject them).  Both still build and return a correct cube — it just
+    is not persisted.
+    """
+    if cache is not None and not isinstance(aggregate, str):
+        try:
+            registered = get_aggregate(aggregate.name)
+        except AggregateError:
+            registered = None
+        if registered is not aggregate:
+            cache = None
+    key = None
+    if cache is not None:
+        key = cube_key(
+            relation,
+            measure,
+            explain_by,
+            aggregate=aggregate,
+            time_attr=time_attr,
+            max_order=max_order,
+            deduplicate=deduplicate,
+        )
+        cached = cache.load(key)
+        if cached is not None:
+            return cached, True
+    cube = ExplanationCube(
+        relation,
+        explain_by,
+        measure,
+        aggregate=aggregate,
+        time_attr=time_attr,
+        max_order=max_order,
+        deduplicate=deduplicate,
+        columnar=columnar,
+    )
+    if cache is not None and key is not None:
+        try:
+            cache.store(key, cube)
+        except (TypeError, OSError):
+            # Non-JSON labels/values (e.g. datetime objects) make the query
+            # uncacheable; an unwritable/full cache directory makes it
+            # unpersistable.  Either way the built cube is correct and a
+            # cache problem is never a reason to fail the explain.
+            pass
+    return cube, False

@@ -2,10 +2,19 @@
 
 For every candidate explanation ``E`` the cube materializes the aggregated
 time series of the *included* slice ``ts(sigma_E R)`` and of the *excluded*
-relation ``ts(R - sigma_E R)``, using decomposable aggregate states so the
-relation is scanned once.  With the cube in memory, the difference score
-``gamma(E)`` of any segment ``[p_j', p_j]`` is an O(1) lookup — exactly the
-pre-computation the paper assumes an interactive OLAP tool maintains.
+relation ``ts(R - sigma_E R)``.  The build is columnar: measure values and
+factorized dimension codes come straight out of the relation's column
+store (:class:`repro.relation.table.Relation`), aggregate states
+are scattered into dense ``group x time`` buckets with ``np.add.at``, and
+included/excluded series are finalized in per-subset batches — no per-row
+or per-candidate Python loop touches the data.  With the cube in memory,
+the difference score ``gamma(E)`` of any segment ``[p_j', p_j]`` is an
+O(1) lookup — exactly the pre-computation the paper assumes an interactive
+OLAP tool maintains.
+
+A built cube is a reusable artifact: :mod:`repro.cube.cache` persists it
+to disk keyed by the relation fingerprint and query parameters, so
+repeated explains reuse the prepare phase instead of rescanning.
 """
 
 from __future__ import annotations
@@ -44,6 +53,10 @@ class ExplanationCube:
     deduplicate:
         Drop containment-redundant conjunctions (see
         :mod:`repro.cube.explanations`).
+    columnar:
+        Use the vectorized batch finalize (default).  ``False`` falls back
+        to the legacy per-candidate Python loop — same results, kept for
+        benchmarking and as an executable specification.
     """
 
     def __init__(
@@ -55,6 +68,7 @@ class ExplanationCube:
         time_attr: str | None = None,
         max_order: int = 3,
         deduplicate: bool = True,
+        columnar: bool = True,
     ):
         if isinstance(aggregate, str):
             aggregate = get_aggregate(aggregate)
@@ -68,7 +82,13 @@ class ExplanationCube:
             relation, explain_by, max_order=max_order, deduplicate=deduplicate
         )
         included, excluded = _materialize_series(
-            candidates, values, time_positions, n_times, aggregate, overall_state
+            candidates,
+            values,
+            time_positions,
+            n_times,
+            aggregate,
+            overall_state,
+            columnar=columnar,
         )
 
         self._aggregate = aggregate
@@ -83,10 +103,11 @@ class ExplanationCube:
         self._index = {conj: i for i, conj in enumerate(self._explanations)}
 
     # ------------------------------------------------------------------
-    # Lightweight copy used by restrict()
+    # Array-level constructor used by restrict(), smoothing and the
+    # rollup cache
     # ------------------------------------------------------------------
     @classmethod
-    def _from_arrays(
+    def from_arrays(
         cls,
         aggregate: AggregateFunction,
         measure: str,
@@ -98,6 +119,13 @@ class ExplanationCube:
         included: np.ndarray,
         excluded: np.ndarray,
     ) -> "ExplanationCube":
+        """Assemble a cube directly from prebuilt series arrays.
+
+        This bypasses the relation scan entirely; it is how
+        :meth:`restrict`, :func:`repro.core.smoothing.smooth_cube` and the
+        rollup cache (:mod:`repro.cube.cache`) construct cubes.  The arrays
+        are adopted without copying, so callers must not mutate them.
+        """
         cube = cls.__new__(cls)
         cube._aggregate = aggregate
         cube._measure = measure
@@ -111,6 +139,9 @@ class ExplanationCube:
         cube._index = {conj: i for i, conj in enumerate(explanations)}
         return cube
 
+    # Backwards-compatible alias for the pre-cache private name.
+    _from_arrays = from_arrays
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -118,6 +149,16 @@ class ExplanationCube:
     def n_explanations(self) -> int:
         """Candidate count ``epsilon``."""
         return len(self._explanations)
+
+    @property
+    def aggregate(self) -> AggregateFunction:
+        """The decomposable aggregate ``f`` the cube was built with."""
+        return self._aggregate
+
+    @property
+    def measure(self) -> str:
+        """The measure attribute ``M`` being aggregated."""
+        return self._measure
 
     @property
     def n_times(self) -> int:
@@ -222,7 +263,7 @@ class ExplanationCube:
         if keep.dtype == bool:
             keep = np.flatnonzero(keep)
         explanations = tuple(self._explanations[i] for i in keep)
-        return ExplanationCube._from_arrays(
+        return ExplanationCube.from_arrays(
             aggregate=self._aggregate,
             measure=self._measure,
             explain_by=self._explain_by,
@@ -248,12 +289,16 @@ def _materialize_series(
     n_times: int,
     aggregate: AggregateFunction,
     overall_state: np.ndarray,
+    columnar: bool = True,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Finalized included/excluded series for every candidate.
 
     States are accumulated once per attribute *subset* (bucket id =
-    ``group_id * n_times + time_position``) and then sliced per candidate,
-    so the relation is scanned ``O(|subsets|)`` times, not ``O(epsilon)``.
+    ``group_id * n_times + time_position``), so the relation is scanned
+    ``O(|subsets|)`` times, not ``O(epsilon)``.  In columnar mode every
+    subset's candidates are then gathered with one fancy-index per subset
+    and finalized as a ``(n_components, k, n_times)`` batch; the legacy
+    mode finalizes one candidate at a time in a Python loop.
     """
     per_subset_states: list[np.ndarray] = []
     for group_ids in candidates.row_groups:
@@ -267,10 +312,29 @@ def _materialize_series(
     n_candidates = len(candidates)
     included = np.empty((n_candidates, n_times), dtype=np.float64)
     excluded = np.empty((n_candidates, n_times), dtype=np.float64)
-    for position in range(n_candidates):
-        subset_pos = candidates.subset_index[position]
-        local_id = candidates.local_ids[position]
-        state = per_subset_states[subset_pos][:, local_id, :]
-        included[position] = aggregate.finalize(state)
-        excluded[position] = aggregate.finalize(aggregate.subtract(overall_state, state))
+    if columnar:
+        subset_index = np.asarray(candidates.subset_index, dtype=np.intp)
+        local_ids = np.asarray(candidates.local_ids, dtype=np.intp)
+        rest_state = overall_state[:, None, :]  # broadcasts over the batch
+        # Candidates are emitted grouped by subset in ascending order, so
+        # each subset's rows are one contiguous slice.
+        bounds = np.searchsorted(
+            subset_index, np.arange(len(per_subset_states) + 1, dtype=np.intp)
+        )
+        for subset_pos, states in enumerate(per_subset_states):
+            rows = slice(int(bounds[subset_pos]), int(bounds[subset_pos + 1]))
+            if rows.start == rows.stop:
+                continue
+            batch = states[:, local_ids[rows], :]
+            included[rows] = aggregate.finalize(batch)
+            excluded[rows] = aggregate.finalize(aggregate.subtract(rest_state, batch))
+    else:
+        for position in range(n_candidates):
+            subset_pos = candidates.subset_index[position]
+            local_id = candidates.local_ids[position]
+            state = per_subset_states[subset_pos][:, local_id, :]
+            included[position] = aggregate.finalize(state)
+            excluded[position] = aggregate.finalize(
+                aggregate.subtract(overall_state, state)
+            )
     return included, excluded

@@ -97,7 +97,11 @@ def enumerate_candidates(
     subsets: list[tuple[str, ...]] = []
     subset_index: list[int] = []
     local_ids: list[int] = []
-    support_lookup: dict[Conjunction, int] = {}
+    # Per processed subset: (row -> group id, per-group support).  Kept for
+    # every lower-order subset (including groups later dropped as
+    # redundant) so that higher-order conjunctions can still detect
+    # redundancy through a chain of redundant intermediates.
+    group_info: dict[tuple[str, ...], tuple[np.ndarray, np.ndarray]] = {}
 
     ordered_attrs = sorted(explain_by)
     for order in range(1, max_order + 1):
@@ -105,32 +109,34 @@ def enumerate_candidates(
             group_ids, representatives = _group_rows(relation, subset)
             n_groups = representatives.shape[0]
             counts = np.bincount(group_ids, minlength=n_groups)
+            # A group is redundant when dropping one attribute lands its
+            # representative row in a parent group with identical support:
+            # the parent then selects exactly the same rows.  This is the
+            # columnar form of the seed's per-conjunction dict lookup.
+            redundant = np.zeros(n_groups, dtype=bool)
+            if deduplicate and order > 1:
+                for drop in range(order):
+                    parent = subset[:drop] + subset[drop + 1 :]
+                    parent_groups, parent_counts = group_info[parent]
+                    redundant |= (
+                        parent_counts[parent_groups[representatives]] == counts
+                    )
+            group_info[subset] = (group_ids, counts)
+
             subset_pos = len(subsets)
             subsets.append(subset)
             row_groups.append(group_ids)
-            columns = [relation.column(name) for name in subset]
-            for local_id in range(n_groups):
-                representative = representatives[local_id]
+            columns = relation.columns(subset)
+            group_values = [columns[name][representatives] for name in subset]
+            for local_id in np.flatnonzero(~redundant):
                 conjunction = Conjunction.from_items(
-                    (name, _python_value(columns[k][representative]))
+                    (name, _python_value(group_values[k][local_id]))
                     for k, name in enumerate(subset)
                 )
-                support = int(counts[local_id])
-                redundant = (
-                    deduplicate
-                    and order > 1
-                    and _is_redundant(conjunction, support, support_lookup)
-                )
-                # Record every candidate's support (including dropped ones) so
-                # that higher-order conjunctions can still detect redundancy
-                # through a chain of redundant intermediates.
-                support_lookup[conjunction] = support
-                if redundant:
-                    continue
                 explanations.append(conjunction)
-                supports.append(support)
+                supports.append(int(counts[local_id]))
                 subset_index.append(subset_pos)
-                local_ids.append(local_id)
+                local_ids.append(int(local_id))
 
     return CandidateSet(
         explanations=tuple(explanations),
@@ -162,20 +168,3 @@ def _group_rows(
         combined = combined.astype(np.int64).ravel()
     _, representatives = np.unique(combined, return_index=True)
     return combined.astype(np.intp), representatives.astype(np.intp)
-
-
-def _is_redundant(
-    conjunction: Conjunction, support: int, support_lookup: dict[Conjunction, int]
-) -> bool:
-    """True when some sub-conjunction selects exactly the same rows.
-
-    Because ``sigma_{E'} R \\supseteq sigma_E R`` whenever ``E'`` is a
-    sub-conjunction of ``E``, equal support implies equal row sets.
-    """
-    items = conjunction.items
-    for drop in range(len(items)):
-        sub = Conjunction.from_items(items[:drop] + items[drop + 1 :])
-        sub_support = support_lookup.get(sub)
-        if sub_support is not None and sub_support == support:
-            return True
-    return False

@@ -42,8 +42,9 @@ class DifferenceMetric(abc.ABC):
         contributions:
             ``delta(E)`` for each candidate (any shape).
         overall_change:
-            ``f(R_t) - f(R_c)`` of the same segment, available for
-            normalizing metrics.
+            ``f(R_t) - f(R_c)`` of the same segment(s): a scalar, or an
+            array broadcastable against ``contributions`` when scoring a
+            batch of segments at once.
         """
 
     def __repr__(self) -> str:

@@ -1,9 +1,12 @@
 """Segment scoring: binds a cube to a difference metric.
 
 :class:`SegmentScorer` is the object every downstream module talks to — the
-cascading analysts algorithm pulls full ``gamma`` vectors per segment, the
-NDCG distance pulls ``gamma``/``tau`` for a handful of explanation indices,
-and the two-relation diff example ranks one segment's scores directly.
+cascading analysts algorithm pulls whole ``gamma``/``tau`` matrices for
+batches of segments (:meth:`SegmentScorer.gamma_tau_many`), the NDCG
+distance pulls ``gamma``/``tau`` for a handful of explanation indices, and
+the two-relation diff example ranks one segment's scores directly.  All
+forms are O(1)-per-candidate lookups into the cube; none of them loop over
+candidates in Python.
 """
 
 from __future__ import annotations
@@ -90,6 +93,78 @@ class SegmentScorer:
         contributions = self._cube.signed_contributions(start, stop, indices)
         scores = self._metric.score(contributions, self._cube.overall_change(start, stop))
         return scores, change_effect(contributions)
+
+    def _coerce_segments(
+        self, starts: np.ndarray, stops: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        starts = np.asarray(starts)
+        stops = np.asarray(stops)
+        if starts.shape != stops.shape or starts.ndim != 1:
+            raise QueryError(
+                f"starts/stops must be 1-D arrays of equal length, got shapes "
+                f"{starts.shape} and {stops.shape}"
+            )
+        for name, positions in (("starts", starts), ("stops", stops)):
+            if positions.size and not np.issubdtype(positions.dtype, np.integer):
+                raise QueryError(
+                    f"segment {name} must be integer positions, got dtype "
+                    f"{positions.dtype}"
+                )
+        starts = starts.astype(np.intp, copy=False)
+        stops = stops.astype(np.intp, copy=False)
+        bad = np.flatnonzero(
+            ~((0 <= starts) & (starts < stops) & (stops < self._cube.n_times))
+        )
+        if bad.size:
+            offender = int(bad[0])
+            raise QueryError(
+                f"invalid segment [{int(starts[offender])}, "
+                f"{int(stops[offender])}] at batch position {offender} for "
+                f"series of length {self._cube.n_times}"
+            )
+        return starts, stops
+
+    def overall_changes(self, starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+        """``f(R_t) - f(R_c)`` for a batch of segments (one value each)."""
+        starts, stops = self._coerce_segments(starts, stops)
+        overall = self._cube.overall_values
+        return overall[stops] - overall[starts]
+
+    def _score_many(
+        self, starts: np.ndarray, stops: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        starts, stops = self._coerce_segments(starts, stops)
+        contributions = self._cube.signed_contributions_many(starts, stops)
+        overall = self._cube.overall_values
+        overall_change = (overall[stops] - overall[starts])[None, :]
+        return contributions, self._metric.score(contributions, overall_change)
+
+    def gamma_many(self, starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+        """The ``gamma`` matrix alone for a batch of segments.
+
+        Same ``(epsilon, n_segments)`` layout as :meth:`gamma_tau_many`
+        but without materializing the tau matrix — the right call when
+        change effects are needed only for a few winning candidates per
+        segment (fetch those afterwards with :meth:`tau`).
+        """
+        _, scores = self._score_many(starts, stops)
+        return scores
+
+    def gamma_tau_many(
+        self, starts: np.ndarray, stops: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``gamma`` and ``tau`` matrices for a batch of segments.
+
+        The bulk form used by the cascading-analysts module and the
+        segment-cost precomputation: segment ``s`` spans
+        ``[p_{starts[s]}, p_{stops[s]}]`` and both returned arrays have
+        shape ``(epsilon, n_segments)``.  ``tau`` is stored as ``int8``
+        (unlike the float signs of :meth:`gamma_tau`) because callers keep
+        the whole matrix resident.  One cube gather scores every candidate
+        over every segment — no per-candidate or per-segment Python loop.
+        """
+        contributions, scores = self._score_many(starts, stops)
+        return scores, change_effect(contributions).astype(np.int8)
 
     def scored(self, index: int, start: int, stop: int) -> ScoredExplanation:
         """A single candidate's :class:`ScoredExplanation` over a segment."""

@@ -95,7 +95,7 @@ def time_baseline(
     boundaries = segmenter.segment(series.values, k)
     segmentation_seconds = time.perf_counter() - started
 
-    solver = pipeline._build_solver(scorer)
+    solver = pipeline.solver(scorer)
     started = time.perf_counter()
     attach_explanations(scorer, solver, boundaries)
     explanation_seconds = time.perf_counter() - started

@@ -9,6 +9,7 @@ measure columns hold float64.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -57,6 +58,7 @@ class Relation:
             raise QueryError(f"ragged columns: lengths {sorted(lengths)}")
         self._columns = converted
         self._n_rows = lengths.pop() if lengths else 0
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -98,6 +100,66 @@ class Relation:
             raise SchemaError(
                 f"unknown column {name!r}; available: {sorted(self._columns)}"
             ) from None
+
+    def columns(self, names: Sequence[str] | None = None) -> dict[str, np.ndarray]:
+        """Bulk columnar access: ``{name: array}`` for the requested columns.
+
+        One call hands out several attribute arrays without materializing
+        rows — candidate enumeration uses it to fetch each explain-by
+        subset at once.  ``names`` defaults to every schema attribute in
+        schema order; the returned arrays are the relation's own storage
+        (do not mutate).
+        """
+        if names is None:
+            names = self._schema.names
+        return {name: self.column(name) for name in names}
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content hash of the relation (schema + cells).
+
+        Two relations with equal schemas and identical column contents (in
+        row order) share a fingerprint; any cell, row, or schema change
+        produces a different one.  The rollup cache
+        (:mod:`repro.cube.cache`) uses this as the data component of its
+        keys, so a cached cube can never be served for modified data.
+        The hash is computed once per instance and memoized (relations are
+        immutable).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(repr(self._schema).encode("utf-8"))
+            # Row count frames the fixed-width column payloads, so no
+            # crafted cell contents can splice one column into the next.
+            digest.update(self._n_rows.to_bytes(8, "little"))
+            for name in self._schema.names:
+                column = self._columns[name]
+                digest.update(name.encode("utf-8"))
+                # The dtype kind tag keeps e.g. str and bytes columns with
+                # identical text from colliding.
+                digest.update(column.dtype.kind.encode("ascii"))
+                if column.dtype.kind == "O":
+                    # Object columns may mix cell types (1 vs "1"), so each
+                    # cell's rendering carries its type; length-prefix
+                    # framing (not separators, which user data could
+                    # contain) keeps cell boundaries unambiguous.
+                    parts: list[bytes] = []
+                    for value in column:
+                        cell = f"{type(value).__name__}:{value}".encode(
+                            "utf-8", errors="backslashreplace"
+                        )
+                        parts.append(len(cell).to_bytes(4, "little"))
+                        parts.append(cell)
+                    digest.update(b"".join(parts))
+                else:
+                    # Fixed-width dtypes (numeric, U, S): the dtype header
+                    # plus NUL padding keeps ("ab","c") != ("a","bc") with
+                    # no per-row Python loop.  S columns hash their raw
+                    # bytes — never decoded, so arbitrary byte values are
+                    # fine.
+                    digest.update(column.dtype.str.encode("utf-8"))
+                    digest.update(np.ascontiguousarray(column).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def to_rows(self) -> list[dict[str, Any]]:
         """Materialize all rows as dicts (tests and small outputs only)."""

@@ -224,16 +224,10 @@ class SegmentationCosts:
     # Unit-object preparation (always full resolution)
     # ------------------------------------------------------------------
     def _prepare_units(self) -> None:
-        cube = self._scorer.cube
-        metric = self._scorer.metric
         starts = np.arange(self._n_units, dtype=np.intp)
         stops = starts + 1
-        self._overall_change_unit = (
-            cube.overall_values[stops] - cube.overall_values[starts]
-        )
-        delta_unit = cube.signed_contributions_many(starts, stops)
-        self._gamma_unit = metric.score(delta_unit, self._overall_change_unit[None, :])
-        self._tau_unit = np.sign(delta_unit).astype(np.int8)
+        self._gamma_unit, self._tau_unit = self._scorer.gamma_tau_many(starts, stops)
+        self._overall_change_unit = self._scorer.overall_changes(starts, stops)
 
         ca_started = time.perf_counter()
         unit_results = self._solver.solve_batch(self._gamma_unit.T)
@@ -282,20 +276,23 @@ class SegmentationCosts:
         self, starts: np.ndarray, stops: np.ndarray
     ) -> list[TopMResult]:
         """Solve top-m for segments given by original-position arrays."""
-        cube = self._scorer.cube
-        metric = self._scorer.metric
-        delta = cube.signed_contributions_many(starts, stops)
-        overall_change = cube.overall_values[stops] - cube.overall_values[starts]
-        gammas = metric.score(delta, overall_change[None, :])
+        gammas = self._scorer.gamma_many(starts, stops)
         ca_started = time.perf_counter()
         results = self._solver.solve_batch(gammas.T)
         self.timings["cascading"] += time.perf_counter() - ca_started
         annotated = []
         for column, result in enumerate(results):
-            taus = tuple(int(np.sign(delta[index, column])) for index in result.indices)
+            # Effects are only reported for each segment's m winners, so
+            # fetch those instead of materializing the full tau matrix.
+            winner_taus = self._scorer.tau(
+                int(starts[column]),
+                int(stops[column]),
+                np.asarray(result.indices, dtype=np.intp),
+            )
+            result_taus = tuple(int(tau) for tau in winner_taus)
             annotated.append(
                 result.with_context(
-                    taus=taus,
+                    taus=result_taus,
                     source_segment=(int(starts[column]), int(stops[column])),
                 )
             )

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -122,3 +121,102 @@ def test_explain_dataset_source(capsys):
     )
     assert code == 0
     assert "vaccinated=NO" in out
+
+
+def test_cache_build_inspect_clear(capsys, csv_path, tmp_path):
+    cache_dir = str(tmp_path / "rollups")
+    source = (
+        "--csv", csv_path,
+        "--time", "t",
+        "--dimensions", "cat",
+        "--measure", "sales",
+    )
+    code, out, _ = run_cli(capsys, "cache", "build", "--cache-dir", cache_dir, *source)
+    assert code == 0
+    assert "built and stored" in out
+    code, out, _ = run_cli(capsys, "cache", "build", "--cache-dir", cache_dir, *source)
+    assert code == 0
+    assert "reused existing entry" in out
+    code, out, _ = run_cli(capsys, "cache", "inspect", "--cache-dir", cache_dir)
+    assert code == 0
+    assert "measure=sales" in out and "1 entry" in out
+    code, out, _ = run_cli(capsys, "cache", "clear", "--cache-dir", cache_dir)
+    assert code == 0
+    assert "removed 1" in out
+    code, out, _ = run_cli(capsys, "cache", "inspect", "--cache-dir", cache_dir)
+    assert code == 0
+    assert "empty" in out
+
+
+def test_cache_build_requires_source(capsys, tmp_path):
+    code, _, err = run_cli(capsys, "cache", "build", "--cache-dir", str(tmp_path))
+    assert code == 2
+    assert "error" in err
+
+
+def test_explain_with_cache_dir(capsys, csv_path, tmp_path):
+    cache_dir = str(tmp_path / "rollups")
+    argv = (
+        "explain",
+        "--csv", csv_path,
+        "--time", "t",
+        "--dimensions", "cat",
+        "--measure", "sales",
+        "--k", "2",
+        "--cache-dir", cache_dir,
+    )
+    code, first, _ = run_cli(capsys, *argv)
+    assert code == 0
+    code, second, _ = run_cli(capsys, *argv)
+    assert code == 0
+    # The warm run reads the cube from the cache; everything but the
+    # latency line must match the cold run verbatim.
+    strip = lambda text: [
+        line for line in text.splitlines() if "latency=" not in line
+    ]
+    assert strip(first) == strip(second)
+
+
+def test_explain_max_order_matches_prewarm(capsys, tmp_path):
+    """cache build --max-order N prewarm is served by explain --max-order N."""
+    cache_dir = str(tmp_path / "rollups")
+    from tests.conftest import two_attr_relation
+
+    path = str(tmp_path / "kpi2.csv")
+    write_csv(two_attr_relation(), path)
+    source = ("--csv", path, "--time", "t", "--dimensions", "a,b", "--measure", "m")
+    code, out, _ = run_cli(
+        capsys, "cache", "build", "--cache-dir", cache_dir, "--max-order", "1", *source
+    )
+    assert code == 0 and "built and stored" in out
+    code, _, _ = run_cli(
+        capsys, "explain", *source, "--k", "2", "--max-order", "1",
+        "--cache-dir", cache_dir,
+    )
+    assert code == 0
+    from repro.cube.cache import RollupCache
+
+    # The explain hit the prewarmed entry instead of adding a second one.
+    assert len(RollupCache(cache_dir).entries()) == 1
+
+
+def test_cache_build_reports_store_failure(capsys, csv_path, tmp_path, monkeypatch):
+    """A prewarm that could not persist must not claim success."""
+    from repro.cube.cache import RollupCache
+
+    def broken_store(self, key, cube):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(RollupCache, "store", broken_store)
+    code, out, err = run_cli(
+        capsys,
+        "cache", "build",
+        "--cache-dir", str(tmp_path / "r"),
+        "--csv", csv_path,
+        "--time", "t",
+        "--dimensions", "cat",
+        "--measure", "sales",
+    )
+    assert code == 1
+    assert "NOT stored" in err
+    assert "built and stored" not in out

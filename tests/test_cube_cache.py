@@ -1,0 +1,398 @@
+"""Tests for the persistent rollup cache (repro.cube.cache)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExplainConfig
+from repro.core.engine import TSExplain
+from repro.core.pipeline import ExplainPipeline
+from repro.cube.cache import CACHE_SUFFIX, RollupCache, cube_key, load_or_build
+from repro.cube.datacube import ExplanationCube
+from repro.exceptions import ConfigError
+from repro.relation.schema import AttributeKind
+from tests.conftest import regime_relation, two_attr_relation
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RollupCache(tmp_path / "rollups")
+
+
+def _cubes_equal(left: ExplanationCube, right: ExplanationCube) -> bool:
+    return (
+        left.explanations == right.explanations
+        and left.labels == right.labels
+        and left.explain_by == right.explain_by
+        and left.aggregate.name == right.aggregate.name
+        and left.measure == right.measure
+        and np.array_equal(left.supports, right.supports)
+        and np.array_equal(left.overall_values, right.overall_values)
+        and np.array_equal(left.included_values, right.included_values)
+        and np.array_equal(left.excluded_values, right.excluded_values)
+    )
+
+
+# ----------------------------------------------------------------------
+# Relation fingerprint
+# ----------------------------------------------------------------------
+def test_fingerprint_stable_across_instances():
+    assert regime_relation().fingerprint() == regime_relation().fingerprint()
+
+
+def test_fingerprint_changes_with_data():
+    base = regime_relation()
+    changed = regime_relation(n=24, switch=11)
+    assert base.fingerprint() != changed.fingerprint()
+
+
+def test_fingerprint_changes_with_extra_rows():
+    base = regime_relation()
+    grown = base.concat(base.head(1))
+    assert base.fingerprint() != grown.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Load / store round trip
+# ----------------------------------------------------------------------
+def test_store_then_load_round_trips(cache):
+    relation = two_attr_relation()
+    cube = ExplanationCube(relation, ["a", "b"], "m")
+    key = cube_key(relation, "m", ["a", "b"])
+    path = cache.store(key, cube)
+    assert path.exists()
+    loaded = cache.load(key)
+    assert loaded is not None
+    assert _cubes_equal(cube, loaded)
+
+
+def test_miss_on_empty_cache(cache):
+    key = cube_key(regime_relation(), "sales", ["cat"])
+    assert cache.load(key) is None
+
+
+def test_miss_after_relation_change(cache):
+    relation = regime_relation()
+    cube = ExplanationCube(relation, ["cat"], "sales")
+    cache.store(cube_key(relation, "sales", ["cat"]), cube)
+    changed = regime_relation(n=24, switch=10)
+    assert cache.load(cube_key(changed, "sales", ["cat"])) is None
+
+
+def test_miss_on_different_parameters(cache):
+    relation = two_attr_relation()
+    cube = ExplanationCube(relation, ["a", "b"], "m")
+    cache.store(cube_key(relation, "m", ["a", "b"]), cube)
+    assert cache.load(cube_key(relation, "m", ["a"])) is None
+    assert cache.load(cube_key(relation, "m", ["a", "b"], max_order=1)) is None
+    assert cache.load(cube_key(relation, "m", ["a", "b"], aggregate="avg")) is None
+
+
+def test_explain_by_order_does_not_split_cache(cache):
+    relation = two_attr_relation()
+    cube = ExplanationCube(relation, ["a", "b"], "m")
+    cache.store(cube_key(relation, "m", ["a", "b"]), cube)
+    assert cache.load(cube_key(relation, "m", ["b", "a"])) is not None
+
+
+def test_corrupted_entry_is_a_miss_and_rebuilds(cache):
+    relation = regime_relation()
+    key = cube_key(relation, "sales", ["cat"])
+    cube, hit = load_or_build(cache, relation, ["cat"], "sales")
+    assert not hit
+    path = cache.path_for(key)
+    path.write_bytes(b"this is not a pickle")
+    assert cache.load(key) is None
+    rebuilt, hit = load_or_build(cache, relation, ["cat"], "sales")
+    assert not hit
+    assert _cubes_equal(cube, rebuilt)
+    # The rebuild overwrote the poisoned entry, so the next call hits.
+    _, hit = load_or_build(cache, relation, ["cat"], "sales")
+    assert hit
+
+
+def test_entries_and_clear(cache):
+    relation = regime_relation()
+    cube = ExplanationCube(relation, ["cat"], "sales")
+    cache.store(cube_key(relation, "sales", ["cat"]), cube)
+    (cache.directory / f"junk{CACHE_SUFFIX}").write_bytes(b"garbage")
+    entries = cache.entries()
+    assert len(entries) == 2
+    valid = [entry for entry in entries if entry.valid]
+    corrupt = [entry for entry in entries if not entry.valid]
+    assert len(valid) == 1 and len(corrupt) == 1
+    assert valid[0].n_explanations == cube.n_explanations
+    assert valid[0].n_times == cube.n_times
+    assert "CORRUPT" in corrupt[0].row()
+    assert cache.clear() == 2
+    assert cache.entries() == []
+
+
+# ----------------------------------------------------------------------
+# Pipeline / facade integration
+# ----------------------------------------------------------------------
+def test_pipeline_cache_hit_second_run(tmp_path):
+    relation = regime_relation()
+    config = ExplainConfig(cache_dir=str(tmp_path))
+    first = ExplainPipeline(relation, "sales", ("cat",), config=config)
+    first.prepare()
+    assert first.cache_hit is False
+    second = ExplainPipeline(relation, "sales", ("cat",), config=config)
+    second.prepare()
+    assert second.cache_hit is True
+
+
+def test_pipeline_without_cache_reports_none():
+    pipeline = ExplainPipeline(regime_relation(), "sales", ("cat",))
+    pipeline.prepare()
+    assert pipeline.cache_hit is None
+
+
+def test_cached_and_fresh_results_identical(tmp_path):
+    relation = two_attr_relation()
+    fresh = TSExplain(relation, "m", ["a", "b"], k=2).explain()
+    cold = TSExplain(relation, "m", ["a", "b"], k=2, cache_dir=str(tmp_path)).explain()
+    warm = TSExplain(relation, "m", ["a", "b"], k=2, cache_dir=str(tmp_path)).explain()
+    for result in (cold, warm):
+        assert result.boundaries == fresh.boundaries
+        for ours, theirs in zip(result.segments, fresh.segments):
+            assert ours.explanations == theirs.explanations
+            assert ours.variance == theirs.variance
+
+
+def test_cached_cube_serves_other_configs(tmp_path):
+    """Smoothing/filter/metric are outside the key: one entry, many configs."""
+    relation = regime_relation()
+    base = ExplainConfig(cache_dir=str(tmp_path))
+    ExplainPipeline(relation, "sales", ("cat",), config=base).prepare()
+    smoothed = ExplainPipeline(
+        relation,
+        "sales",
+        ("cat",),
+        config=base.updated(smoothing_window=3, use_filter=False),
+    )
+    smoothed.prepare()
+    assert smoothed.cache_hit is True
+
+
+def test_config_rejects_blank_cache_dir():
+    with pytest.raises(ConfigError):
+        ExplainConfig(cache_dir="   ")
+
+
+def test_measure_rename_invalidates():
+    """Same cell bytes under a renamed measure must not share an entry."""
+    relation = regime_relation()
+    renamed = relation.project(["t", "cat", "sales"])
+    assert relation.fingerprint() == renamed.fingerprint()
+    other = (
+        relation.project(["t", "cat"])
+        .with_column("volume", relation.column("sales"), AttributeKind.MEASURE)
+    )
+    assert relation.fingerprint() != other.fingerprint()
+
+
+def test_cache_dir_tilde_is_expanded(tmp_path, monkeypatch):
+    monkeypatch.setenv("HOME", str(tmp_path))
+    cache = RollupCache("~/rollups")
+    assert cache.directory == tmp_path / "rollups"
+    # Read-only operations neither require nor create the directory...
+    assert cache.entries() == [] and cache.clear() == 0
+    assert not cache.directory.exists()
+    relation = regime_relation()
+    key = cube_key(relation, "sales", ["cat"])
+    assert cache.load(key) is None
+    assert not cache.directory.exists()
+    # ...the first store creates it.
+    cache.store(key, ExplanationCube(relation, ["cat"], "sales"))
+    assert cache.directory.is_dir()
+    assert cache.load(key) is not None
+
+
+def test_clear_removes_orphaned_temp_files(cache):
+    relation = regime_relation()
+    cube = ExplanationCube(relation, ["cat"], "sales")
+    cache.store(cube_key(relation, "sales", ["cat"]), cube)
+    # A writer killed between mkstemp and os.replace leaves a .tmp file.
+    (cache.directory / f"orphan{CACHE_SUFFIX}.tmp").write_bytes(b"partial")
+    assert cache.clear() == 2
+    assert list(cache.directory.iterdir()) == []
+
+
+def test_entries_do_not_load_series_arrays(cache, monkeypatch):
+    """inspect must stay metadata-only: loading a series array is a bug."""
+    relation = regime_relation()
+    cube = ExplanationCube(relation, ["cat"], "sales")
+    cache.store(cube_key(relation, "sales", ["cat"]), cube)
+    import numpy.lib.npyio as npyio
+
+    original = npyio.NpzFile.__getitem__
+
+    def guarded(self, name):
+        assert name == "header", f"entries() touched array member {name!r}"
+        return original(self, name)
+
+    monkeypatch.setattr(npyio.NpzFile, "__getitem__", guarded)
+    entries = cache.entries()
+    assert len(entries) == 1 and entries[0].valid
+
+
+def test_store_rejects_non_json_values(cache):
+    relation = regime_relation()
+    cube = ExplanationCube(relation, ["cat"], "sales")
+    weird = ExplanationCube.from_arrays(
+        aggregate=cube.aggregate,
+        measure=cube.measure,
+        explain_by=cube.explain_by,
+        labels=tuple(str(label).encode() for label in cube.labels),  # bytes: not JSON
+        overall=cube.overall_values,
+        explanations=cube.explanations,
+        supports=cube.supports,
+        included=cube.included_values,
+        excluded=cube.excluded_values,
+    )
+    with pytest.raises(TypeError):
+        cache.store(cube_key(relation, "sales", ["cat"]), weird)
+
+
+def test_non_json_labels_degrade_to_uncached(cache):
+    """datetime-style labels must not crash a cache-enabled explain."""
+    import datetime
+
+    from repro.relation.schema import Schema
+    from repro.relation.table import Relation
+
+    days = [datetime.date(2024, 1, d + 1) for d in range(6)]
+    columns = {
+        "t": np.asarray([d for d in days for _ in ("a", "b")], dtype=object),
+        "cat": np.asarray(["a", "b"] * len(days), dtype=object),
+        "sales": np.asarray(
+            [float(i) for i, _ in enumerate(days) for _ in ("a", "b")]
+        ),
+    }
+    schema = Schema.build(dimensions=["cat"], measures=["sales"], time="t")
+    relation = Relation(columns, schema)
+    cube, hit = load_or_build(cache, relation, ["cat"], "sales")
+    assert not hit
+    assert cube.labels == tuple(days)
+    assert cache.entries() == []  # nothing persisted, nothing crashed
+    # And a second call is still a (correct) miss, never a crash.
+    again, hit = load_or_build(cache, relation, ["cat"], "sales")
+    assert not hit and _cubes_equal(cube, again)
+
+
+def test_custom_aggregate_bypasses_cache(cache):
+    from repro.relation.aggregates import Sum
+
+    class TrimmedSum(Sum):
+        name = "sum"  # deliberately shadows the registry name
+
+    relation = regime_relation()
+    cube, hit = load_or_build(cache, relation, ["cat"], "sales", aggregate=TrimmedSum())
+    assert not hit
+    assert cache.entries() == []  # never stored under the shadowed name
+    # A genuine registry aggregate still caches normally afterwards.
+    load_or_build(cache, relation, ["cat"], "sales", aggregate="sum")
+    _, hit = load_or_build(cache, relation, ["cat"], "sales", aggregate="sum")
+    assert hit
+
+
+def test_fingerprint_distinguishes_cell_types():
+    from tests.conftest import build_relation
+
+    as_str = build_relation(
+        {"t": ["t0", "t1"], "cat": np.asarray(["1", "2"], dtype=object), "m": [1.0, 2.0]},
+        dimensions=["cat"], measures=["m"], time="t",
+    )
+    as_int = build_relation(
+        {"t": ["t0", "t1"], "cat": np.asarray([1, 2], dtype=object), "m": [1.0, 2.0]},
+        dimensions=["cat"], measures=["m"], time="t",
+    )
+    assert as_str.fingerprint() != as_int.fingerprint()
+
+
+def test_max_entries_evicts_oldest(tmp_path):
+    import os
+
+    cache = RollupCache(tmp_path, max_entries=2)
+    paths = []
+    for switch in (8, 10, 12):
+        relation = regime_relation(switch=switch)
+        cube = ExplanationCube(relation, ["cat"], "sales")
+        key = cube_key(relation, "sales", ["cat"])
+        path = cache.store(key, cube)
+        paths.append(path)
+        os.utime(path, (switch, switch))  # deterministic ordering
+    assert not paths[0].exists()  # oldest evicted
+    assert paths[1].exists() and paths[2].exists()
+    assert len(cache.entries()) == 2
+
+
+def test_fingerprint_framing_resists_separator_injection():
+    """Cell contents containing framing bytes must not collide."""
+    from tests.conftest import build_relation
+
+    def rel(values):
+        return build_relation(
+            {"t": ["t0", "t1"], "cat": np.asarray(values, dtype=object), "m": [1.0, 2.0]},
+            dimensions=["cat"], measures=["m"], time="t",
+        )
+
+    left = rel(["a\x1fstr\x1eb", "c"])
+    right = rel(["a", "b\x1fstr\x1ec"])
+    assert left.fingerprint() != right.fingerprint()
+    shifted = rel(["ab", "c"])
+    also_shifted = rel(["a", "bc"])
+    assert shifted.fingerprint() != also_shifted.fingerprint()
+
+
+def test_eviction_spares_recently_loaded_entries(tmp_path):
+    """Eviction is LRU: a hit refreshes the entry, store order alone does not."""
+    import os
+
+    cache = RollupCache(tmp_path, max_entries=2)
+    keys = []
+    for index, switch in enumerate((8, 10)):
+        relation = regime_relation(switch=switch)
+        key = cube_key(relation, "sales", ["cat"])
+        path = cache.store(key, ExplanationCube(relation, ["cat"], "sales"))
+        os.utime(path, (index + 1, index + 1))
+        keys.append(key)
+    assert cache.load(keys[0]) is not None  # refreshes mtime of the older entry
+    relation = regime_relation(switch=12)
+    cache.store(cube_key(relation, "sales", ["cat"]),
+                ExplanationCube(relation, ["cat"], "sales"))
+    assert cache.load(keys[0]) is not None  # hot entry survived
+    assert cache.load(keys[1]) is None      # cold entry was evicted
+
+
+def test_fingerprint_handles_bytes_columns():
+    """S-dtype columns hash raw bytes: no decode crash, no str collision."""
+    from tests.conftest import build_relation
+
+    def rel(values):
+        return build_relation(
+            {"t": ["t0", "t1"], "cat": np.asarray(values), "m": [1.0, 2.0]},
+            dimensions=["cat"], measures=["m"], time="t",
+        )
+
+    non_ascii = rel([b"caf\xc3\xa9", b"x"])
+    assert non_ascii.fingerprint() == rel([b"caf\xc3\xa9", b"x"]).fingerprint()
+    assert rel([b"ab", b"c"]).fingerprint() != rel(["ab", "c"]).fingerprint()
+
+
+def test_unwritable_cache_dir_degrades_to_uncached(tmp_path):
+    import os
+    import sys
+
+    if os.geteuid() == 0:  # root bypasses permission bits
+        pytest.skip("permission test requires a non-root uid")
+    locked = tmp_path / "locked"
+    locked.mkdir()
+    locked.chmod(0o500)
+    try:
+        cache = RollupCache(locked)
+        relation = regime_relation()
+        cube, hit = load_or_build(cache, relation, ["cat"], "sales")
+        assert not hit and cube.n_explanations > 0
+    finally:
+        locked.chmod(0o700)

@@ -98,3 +98,35 @@ def test_series_accessor(cube):
     series = cube.series(0)
     assert len(series) == cube.n_times
     assert series.labels == cube.labels
+
+
+@pytest.mark.parametrize("aggregate", ["sum", "count", "avg", "var"])
+def test_columnar_matches_legacy_build(aggregate):
+    from tests.conftest import two_attr_relation
+
+    relation = two_attr_relation()
+    fast = ExplanationCube(relation, ["a", "b"], "m", aggregate=aggregate)
+    slow = ExplanationCube(
+        relation, ["a", "b"], "m", aggregate=aggregate, columnar=False
+    )
+    assert fast.explanations == slow.explanations
+    assert np.array_equal(fast.included_values, slow.included_values)
+    assert np.array_equal(fast.excluded_values, slow.excluded_values)
+    assert np.array_equal(fast.supports, slow.supports)
+
+
+def test_public_from_arrays_roundtrip(cube):
+    clone = ExplanationCube.from_arrays(
+        aggregate=cube.aggregate,
+        measure=cube.measure,
+        explain_by=cube.explain_by,
+        labels=cube.labels,
+        overall=cube.overall_values,
+        explanations=cube.explanations,
+        supports=cube.supports,
+        included=cube.included_values,
+        excluded=cube.excluded_values,
+    )
+    assert clone.n_explanations == cube.n_explanations
+    assert clone.index_of(cube.explanations[0]) == 0
+    assert np.array_equal(clone.included_values, cube.included_values)

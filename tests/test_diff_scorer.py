@@ -63,3 +63,53 @@ def test_indices_selection(scorer):
     full = scorer.gamma(0, 23)
     partial = scorer.gamma(0, 23, subset)
     assert np.allclose(partial, full[subset])
+
+
+def test_gamma_tau_many_matches_single(scorer):
+    starts = np.asarray([0, 2, 5])
+    stops = np.asarray([4, 9, 23])
+    gammas, taus = scorer.gamma_tau_many(starts, stops)
+    assert gammas.shape == (scorer.n_explanations, 3)
+    assert taus.dtype == np.int8
+    for column, (start, stop) in enumerate(zip(starts, stops)):
+        single_gamma, single_tau = scorer.gamma_tau(int(start), int(stop))
+        assert np.allclose(gammas[:, column], single_gamma)
+        assert np.array_equal(taus[:, column], single_tau.astype(np.int8))
+
+
+def test_overall_changes_batch(scorer):
+    starts = np.asarray([0, 3])
+    stops = np.asarray([5, 7])
+    changes = scorer.overall_changes(starts, stops)
+    for column, (start, stop) in enumerate(zip(starts, stops)):
+        assert changes[column] == pytest.approx(
+            scorer.cube.overall_change(int(start), int(stop))
+        )
+
+
+def test_gamma_many_matches_gamma_tau_many(scorer):
+    starts = np.asarray([0, 2, 5])
+    stops = np.asarray([4, 9, 23])
+    gammas, _ = scorer.gamma_tau_many(starts, stops)
+    assert np.array_equal(scorer.gamma_many(starts, stops), gammas)
+
+
+def test_gamma_tau_many_rejects_bad_batches(scorer):
+    with pytest.raises(QueryError):
+        scorer.gamma_tau_many(np.asarray([0, 5]), np.asarray([4]))
+    with pytest.raises(QueryError):
+        scorer.gamma_tau_many(np.asarray([5]), np.asarray([5]))
+    with pytest.raises(QueryError):
+        scorer.gamma_tau_many(np.asarray([0]), np.asarray([99]))
+
+
+def test_batch_rejects_non_integer_positions(scorer):
+    with pytest.raises(QueryError, match="integer positions"):
+        scorer.gamma_tau_many(np.asarray([0.5]), np.asarray([4.0]))
+    with pytest.raises(QueryError, match="integer positions"):
+        scorer.overall_changes(np.asarray([0]), np.asarray([4.0]))
+
+
+def test_batch_error_names_offending_segment(scorer):
+    with pytest.raises(QueryError, match=r"\[5, 99\] at batch position 1"):
+        scorer.gamma_tau_many(np.asarray([0, 5]), np.asarray([4, 99]))
