@@ -5,9 +5,11 @@ Run with::
     python examples/advanced_analysis.py
 
 Exercises the three extension features the paper lists as future work
-(section 9): recommending explain-by attributes, hinting at high-variance
+(section 9) — recommending explain-by attributes, hinting at high-variance
 segments worth drilling into, and explaining a seasonal KPI through
-classical decomposition.
+classical decomposition — all through the prepare-once/query-many
+:class:`~repro.core.session.ExplainSession`: recommendation and drill-down
+are run-tier queries against one prepared session, never fresh scans.
 """
 
 from __future__ import annotations
@@ -16,10 +18,9 @@ import numpy as np
 
 from repro.core import (
     ExplainConfig,
-    TSExplain,
+    ExplainSession,
     decompose,
     drill_down,
-    recommend_explain_by,
     variance_hints,
 )
 from repro.datasets import load_liquor
@@ -29,7 +30,10 @@ from repro.relation import Relation, Schema, aggregate_over_time
 def recommendation_demo() -> None:
     print("=== 1. Which attributes should I explain by? (liquor) ===")
     dataset = load_liquor(n_products=150)
-    for score in recommend_explain_by(dataset.relation, dataset.measure):
+    session = ExplainSession(
+        dataset.relation, measure=dataset.measure, explain_by=dataset.explain_by
+    )
+    for score in session.recommend():
         print(" ", score.row())
     print("  -> bottle volume / pack carry the signal; vendor and category\n"
           "     are texture, matching the paper's observation.\n")
@@ -55,18 +59,20 @@ def hints_demo() -> None:
             rows["cat"].append(cat)
             rows["v"].append(value)
     schema = Schema.build(dimensions=["cat"], measures=["v"], time="t")
-    engine = TSExplain(
+    session = ExplainSession(
         Relation(rows, schema),
         measure="v",
         explain_by=["cat"],
         config=ExplainConfig(use_filter=False),
     )
-    coarse = engine.explain(config=ExplainConfig(use_filter=False, k=2))
+    coarse = session.query().segments(2).run()
     print("  Deliberately under-segmented (K=2):")
     print("  " + coarse.describe().replace("\n", "\n  "))
     for hint in variance_hints(coarse, factor=1.2):
         print("  HINT:", hint.describe())
-        inner = drill_down(engine, hint.segment)
+        # Drilling down re-explains the flagged window as a slice of the
+        # session's prepared cube — no rescan of the relation.
+        inner = drill_down(session, hint.segment)
         print("  After drilling down:")
         print("  " + inner.describe().replace("\n", "\n  "))
     print()
@@ -91,14 +97,15 @@ def seasonal_demo() -> None:
     print(f"  seasonal amplitude: {np.ptp(decomposition.seasonal.values):.1f}, "
           f"residual std: {decomposition.residual.values.std():.2f}")
     # Explain the raw series with smoothing matched to the period — the
-    # paper's recommendation for seasonal data.
-    engine = TSExplain(
+    # paper's recommendation for seasonal data.  Smoothing is a run-tier
+    # knob, so it rides on the session's cube via the query builder.
+    session = ExplainSession(
         relation,
         measure="v",
         explain_by=["cat"],
-        config=ExplainConfig(use_filter=False, smoothing_window=period),
+        config=ExplainConfig(use_filter=False),
     )
-    result = engine.explain()
+    result = session.query().smoothing(period).run()
     print("  trend explanation:")
     print("  " + result.describe().replace("\n", "\n  "))
 

@@ -12,7 +12,7 @@ March bar shutdown and rebounded after reopening.
 
 from __future__ import annotations
 
-from repro import ExplainConfig, TSExplain
+from repro import ExplainConfig, ExplainSession
 from repro.datasets import load_liquor
 from repro.viz import explanation_table, k_variance_table, segmentation_chart
 
@@ -20,13 +20,13 @@ from repro.viz import explanation_table, k_variance_table, segmentation_chart
 def main() -> None:
     dataset = load_liquor()
     config = ExplainConfig.optimized(smoothing_window=dataset.smoothing_window)
-    engine = TSExplain(
+    session = ExplainSession(
         dataset.relation,
         measure=dataset.measure,
         explain_by=dataset.explain_by,
         config=config,
     )
-    result = engine.explain()
+    result = session.explain()
 
     print(f"epsilon = {result.epsilon} candidates "
           f"({result.filtered_epsilon} after the support filter)")
@@ -47,6 +47,19 @@ def main() -> None:
     print(f"\nAttributes appearing in explanations: {sorted(attributes)}")
     print("(vendor_name and category_name were specified but carry no "
           "signal — TSExplain ignores the uninteresting attributes.)")
+
+    # Run-tier knobs vary per query without re-preparing: same cube, but
+    # unsmoothed and with 5 explanations per segment for the first period.
+    first = result.segments[0]
+    raw = (session.query()
+           .window(first.start_label, first.stop_label)
+           .smoothing(None)
+           .top(5)
+           .run())
+    print(f"\nFirst period re-queried unsmoothed with top-5 "
+          f"({raw.timings['precomputation'] * 1000:.1f} ms of run-tier prep):")
+    for segment in raw.segments:
+        print(" ", segment.describe())
 
 
 if __name__ == "__main__":

@@ -14,20 +14,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ExplainConfig, TSExplain
+from repro import ExplainConfig, ExplainSession
 from repro.datasets import load_sp500
 from repro.viz import explanation_table, segmentation_chart
 
 
 def main() -> None:
     dataset = load_sp500()
-    engine = TSExplain(
+    session = ExplainSession(
         dataset.relation,
         measure=dataset.measure,
         explain_by=dataset.explain_by,
         config=ExplainConfig.optimized(),
     )
-    result = engine.explain()
+    result = session.explain()
 
     print(f"{len(dataset.relation.distinct_values('stock'))} stocks, "
           f"epsilon = {result.epsilon} (hierarchy-deduplicated)")
@@ -51,6 +51,13 @@ def main() -> None:
     if not any("financial" in name for name in recovered):
         print("Note: financials are absent from the recovery — they did not "
               "bounce back (the paper's Table 4 observation).")
+
+    # The session keeps the prepared cube, so asking a follow-up question
+    # about the crash is a cheap run-tier query, not a rebuild.
+    print("\nTwo-point diff across the crash (reusing the prepared cube):")
+    for scored in session.diff(crash.start_label, crash.stop_label, m=3):
+        print(f"  {scored.explanation!r} ({scored.effect_symbol}) "
+              f"gamma={scored.gamma:.1f}")
 
 
 if __name__ == "__main__":

@@ -7,7 +7,10 @@ Run with::
 Feeds a KPI to the :class:`StreamingExplainer` day by day.  After the
 initial explanation, each update re-segments only over the previous
 cutting points plus the newly arrived region, so the explanation stays
-fresh without re-searching the whole history.
+fresh without re-searching the whole history.  Internally each snapshot
+is an :class:`~repro.core.session.ExplainSession`; the example ends by
+borrowing the current snapshot's session for an ad-hoc zoom that reuses
+the cube the last update already built.
 """
 
 from __future__ import annotations
@@ -60,6 +63,14 @@ def main() -> None:
 
     final_top = result.segments[-1].explanations[0].explanation
     print(f"\nLatest regime driver: {final_top!r}")
+
+    # Ad-hoc interactive question against the live stream: the snapshot
+    # session still holds the cube from the last update, so zooming into
+    # the most recent fortnight is a run-tier slice, not a rebuild.
+    recent = explainer.session().query().window("2024-045", "2024-059").run()
+    print("\nZoom into the last 15 days (served from the snapshot's cube):")
+    for segment in recent.segments:
+        print(" ", segment.describe())
 
 
 if __name__ == "__main__":

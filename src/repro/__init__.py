@@ -10,15 +10,18 @@ prepare/run design and the rollup-cache invalidation contract.
 from repro.core.config import ExplainConfig
 from repro.core.engine import TSExplain
 from repro.core.result import ExplainResult, SegmentExplanation
+from repro.core.session import ExplainQuery, ExplainSession
 from repro.exceptions import ReproError
 from repro.relation.table import Relation
 from repro.relation.timeseries import TimeSeries
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExplainConfig",
+    "ExplainQuery",
     "ExplainResult",
+    "ExplainSession",
     "Relation",
     "ReproError",
     "SegmentExplanation",

@@ -14,9 +14,9 @@ Commands
 ``cache``
     Manage the persistent rollup cache: ``build`` the cube for a query
     ahead of time, ``inspect`` the stored entries, ``clear`` them.
-    Prewarmed entries are keyed on the *full* relation, so they serve
-    whole-series ``explain`` runs; a windowed ``explain --start/--stop``
-    explains different data and builds (and caches) its own cube.
+    Prewarmed entries are keyed on the *full* relation and serve every
+    ``explain`` over it — including windowed ``--start/--stop`` runs,
+    which slice the prepared cube instead of rebuilding one.
 
 Examples
 --------
@@ -41,9 +41,8 @@ import sys
 from typing import Sequence
 
 from repro.core.config import ExplainConfig
-from repro.core.engine import TSExplain
 from repro.core.pipeline import ExplainPipeline
-from repro.core.recommend import recommend_explain_by
+from repro.core.session import ExplainSession
 from repro.cube.cache import RollupCache, cube_key
 from repro.datasets.base import Dataset
 from repro.datasets.registry import available_datasets, load_dataset
@@ -132,17 +131,21 @@ def _build_config(args: argparse.Namespace, dataset: Dataset) -> ExplainConfig:
     return config.updated(**overrides) if overrides else config
 
 
-def _command_explain(args: argparse.Namespace) -> int:
-    dataset = _load_source(args)
-    config = _build_config(args, dataset)
-    engine = TSExplain(
+def _session(args: argparse.Namespace, dataset: Dataset, config: ExplainConfig) -> ExplainSession:
+    return ExplainSession(
         dataset.relation,
         measure=dataset.measure,
         explain_by=_explain_by(args, dataset),
         aggregate=dataset.aggregate,
         config=config,
     )
-    result = engine.explain(start=args.start, stop=args.stop)
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    dataset = _load_source(args)
+    config = _build_config(args, dataset)
+    session = _session(args, dataset, config)
+    result = session.query().window(args.start, args.stop).run()
     if args.report == "table":
         print(explanation_table(result))
     elif args.report == "sparklines":
@@ -159,27 +162,23 @@ def _command_explain(args: argparse.Namespace) -> int:
 
 def _command_diff(args: argparse.Namespace) -> int:
     dataset = _load_source(args)
-    engine = TSExplain(
-        dataset.relation,
-        measure=dataset.measure,
-        explain_by=_explain_by(args, dataset),
-        aggregate=dataset.aggregate,
-        config=ExplainConfig(m=args.m or 3),
-    )
-    for scored in engine.top_explanations(args.start, args.stop):
+    session = _session(args, dataset, ExplainConfig(m=args.m or 3))
+    for scored in session.diff(args.start, args.stop):
         print(f"{scored.explanation!r} ({scored.effect_symbol}) gamma={scored.gamma:g}")
     return 0
 
 
 def _command_recommend(args: argparse.Namespace) -> int:
     dataset = _load_source(args)
-    scores = recommend_explain_by(
+    # explain_by stays at the dataset default: recommendation ranks *all*
+    # dimensions, so users learn which explain_by to bind a session to.
+    session = ExplainSession(
         dataset.relation,
-        dataset.measure,
+        measure=dataset.measure,
+        explain_by=dataset.explain_by,
         aggregate=dataset.aggregate,
-        m=args.m or 3,
     )
-    for score in scores:
+    for score in session.recommend(m=args.m or 3):
         print(score.row())
     return 0
 

@@ -7,6 +7,7 @@ from repro.core.pipeline import ExplainPipeline
 from repro.core.recommend import AttributeScore, recommend_explain_by
 from repro.core.result import ExplainResult, SegmentExplanation
 from repro.core.seasonal import Decomposition, decompose
+from repro.core.session import ExplainQuery, ExplainSession, window_relation
 from repro.core.smoothing import moving_average, smooth_cube, smooth_series
 from repro.core.streaming import StreamingExplainer
 
@@ -15,7 +16,9 @@ __all__ = [
     "Decomposition",
     "ExplainConfig",
     "ExplainPipeline",
+    "ExplainQuery",
     "ExplainResult",
+    "ExplainSession",
     "SegmentExplanation",
     "SegmentHint",
     "StreamingExplainer",
@@ -27,4 +30,5 @@ __all__ = [
     "smooth_cube",
     "smooth_series",
     "variance_hints",
+    "window_relation",
 ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.diff.metrics import available_metrics
 from repro.exceptions import ConfigError
 from repro.segmentation.distance import VARIANTS
 from repro.segmentation.kselect import MAX_SEGMENTS
@@ -98,6 +99,13 @@ class ExplainConfig:
         if self.variant not in VARIANTS:
             raise ConfigError(
                 f"unknown variance variant {self.variant!r}; use one of {VARIANTS}"
+            )
+        # get_metric() resolves names case-insensitively; mirror that here
+        # so every name the run tier would accept passes validation.
+        if self.metric.lower() not in available_metrics():
+            raise ConfigError(
+                f"unknown difference metric {self.metric!r}; use one of "
+                f"{available_metrics()}"
             )
         if self.k is not None and self.k < 1:
             raise ConfigError(f"k must be >= 1, got {self.k}")

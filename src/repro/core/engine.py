@@ -1,4 +1,4 @@
-"""The :class:`TSExplain` facade — the library's main entry point.
+"""The :class:`TSExplain` facade — the library's classic entry point.
 
 Typical use::
 
@@ -10,6 +10,15 @@ Typical use::
                        explain_by=["state"])
     result = engine.explain()
     print(result.describe())
+
+Since the session redesign, ``TSExplain`` is a thin backwards-compatible
+facade over one lazily-created :class:`~repro.core.session.ExplainSession`:
+the first query builds (or cache-loads) the explanation cube, and every
+later call — including windowed ``explain(start, stop)`` and
+``top_explanations`` — is served as an O(window) slice of the prepared
+cube arrays.  New code should use :class:`ExplainSession` directly; it
+exposes the same queries plus the fluent :meth:`ExplainSession.query`
+builder.
 """
 
 from __future__ import annotations
@@ -17,12 +26,9 @@ from __future__ import annotations
 from typing import Hashable, Sequence
 
 from repro.core.config import ExplainConfig
-from repro.core.pipeline import ExplainPipeline
 from repro.core.result import ExplainResult
+from repro.core.session import ExplainSession, window_relation
 from repro.diff.scorer import ScoredExplanation
-from repro.exceptions import QueryError
-from repro.relation.groupby import aggregate_over_time
-from repro.relation.predicates import In
 from repro.relation.table import Relation
 from repro.relation.timeseries import TimeSeries
 
@@ -76,6 +82,7 @@ class TSExplain:
         self._aggregate = aggregate
         self._time_attr = time_attr or relation.schema.require_time()
         self._config = config
+        self._session: ExplainSession | None = None
         self._last_result: ExplainResult | None = None
 
     @property
@@ -86,12 +93,27 @@ class TSExplain:
     def relation(self) -> Relation:
         return self._relation
 
+    def session(self) -> ExplainSession:
+        """The underlying :class:`ExplainSession` (created on first use).
+
+        All facade queries delegate to it, so the cube prepared by one
+        call is reused by every later call on this engine.
+        """
+        if self._session is None:
+            self._session = ExplainSession(
+                self._relation,
+                self._measure,
+                self._explain_by,
+                aggregate=self._aggregate,
+                time_attr=self._time_attr,
+                config=self._config,
+            )
+        return self._session
+
     # ------------------------------------------------------------------
     def series(self) -> TimeSeries:
         """The aggregated time series being explained (unsmoothed)."""
-        return aggregate_over_time(
-            self._relation, self._measure, self._aggregate, self._time_attr
-        )
+        return self.session().series()
 
     def explain(
         self,
@@ -105,20 +127,13 @@ class TSExplain:
         ----------
         start / stop:
             Timestamp labels delimiting the period of interest (both
-            inclusive); defaults to the whole series.
+            inclusive); defaults to the whole series.  Windowed calls are
+            O(window) slices of the session's prepared cube — the
+            relation is not rescanned.
         config:
             One-off configuration override for this call.
         """
-        relation = self._window(start, stop)
-        pipeline = ExplainPipeline(
-            relation,
-            self._measure,
-            self._explain_by,
-            aggregate=self._aggregate,
-            time_attr=self._time_attr,
-            config=config or self._config,
-        )
-        result = pipeline.run()
+        result = self.session().explain(start, stop, config=config)
         self._last_result = result
         return result
 
@@ -132,34 +147,10 @@ class TSExplain:
 
         The control relation is the data at ``start`` and the test relation
         the data at ``stop`` (Example 3.1); returns the top-m
-        non-overlapping explanations of their difference, using the
-        pipeline's public :meth:`~repro.core.pipeline.ExplainPipeline.solver`.
+        non-overlapping explanations of their difference, served from the
+        session's prepared cube.
         """
-        pipeline = ExplainPipeline(
-            self._window(None, None),
-            self._measure,
-            self._explain_by,
-            aggregate=self._aggregate,
-            time_attr=self._time_attr,
-            config=self._config if m is None else self._config.updated(m=m),
-        )
-        scorer = pipeline.prepare()
-        solver = pipeline.solver(scorer)
-        series = scorer.cube.overall_series()
-        start_pos = series.position_of(start)
-        stop_pos = series.position_of(stop)
-        if start_pos >= stop_pos:
-            raise QueryError(f"start {start!r} must precede stop {stop!r}")
-        gammas, taus = scorer.gamma_tau(start_pos, stop_pos)
-        result = solver.solve_batch(gammas[None, :])[0]
-        return [
-            ScoredExplanation(
-                explanation=scorer.cube.explanations[index],
-                gamma=float(gammas[index]),
-                tau=int(taus[index]),
-            )
-            for index in result.indices
-        ]
+        return self.session().top_explanations(start, stop, m=m)
 
     @property
     def last_result(self) -> ExplainResult | None:
@@ -168,14 +159,11 @@ class TSExplain:
 
     # ------------------------------------------------------------------
     def _window(self, start: Hashable | None, stop: Hashable | None) -> Relation:
-        """Restrict the relation to rows whose time label lies in a window."""
-        if start is None and stop is None:
-            return self._relation
-        series = self.series()
-        labels = list(series.labels)
-        start_pos = series.position_of(start) if start is not None else 0
-        stop_pos = series.position_of(stop) if stop is not None else len(labels) - 1
-        if start_pos >= stop_pos:
-            raise QueryError("window must contain at least two time points")
-        wanted = labels[start_pos : stop_pos + 1]
-        return self._relation.filter(In(self._time_attr, wanted))
+        """Restrict the relation to rows whose time label lies in a window.
+
+        Kept for backwards compatibility; windowed queries no longer
+        filter the relation (they slice the session's cube), but callers
+        that need a restricted *relation* get the vectorized positional
+        mask instead of the old per-label membership scan.
+        """
+        return window_relation(self._relation, self._time_attr, start, stop)

@@ -16,6 +16,7 @@ from typing import Hashable
 from repro.core.config import ExplainConfig
 from repro.core.engine import TSExplain
 from repro.core.result import ExplainResult, SegmentExplanation
+from repro.core.session import ExplainSession
 from repro.exceptions import QueryError
 
 #: Segments whose variance exceeds this multiple of the mean are flagged.
@@ -84,15 +85,16 @@ def variance_hints(
 
 
 def drill_down(
-    engine: TSExplain,
+    engine: TSExplain | ExplainSession,
     segment: SegmentExplanation,
     config: ExplainConfig | None = None,
 ) -> ExplainResult:
     """Re-explain a single segment at finer granularity.
 
-    Runs the engine on the segment's window only (so the elbow can pick a
-    fresh K for the sub-period).  Raises if the segment is too short to
-    split further.
+    Runs the engine or session on the segment's window only (so the elbow
+    can pick a fresh K for the sub-period) — an O(window) slice of the
+    prepared cube, so drilling down never rescans the relation.  Raises if
+    the segment is too short to split further.
     """
     start: Hashable = segment.start_label
     stop: Hashable = segment.stop_label

@@ -37,6 +37,42 @@ from repro.segmentation.sketch import select_sketch
 from repro.segmentation.variance import SegmentationCosts, scheme_total_variance
 
 
+def prepare_cube(
+    relation: Relation,
+    measure: str,
+    explain_by: Sequence[str],
+    aggregate: str,
+    time_attr: str | None,
+    config: ExplainConfig,
+) -> tuple[ExplanationCube, bool | None]:
+    """Build or cache-load the raw cube a query's prepare tier needs.
+
+    The one place the cache construction and build arguments live —
+    :meth:`ExplainPipeline.prepare` and
+    :meth:`~repro.core.session.ExplainSession.prepare` both call it, so
+    session-served and pipeline-served cubes can never diverge.  Returns
+    ``(cube, cache_hit)`` with ``cache_hit=None`` when the config names no
+    ``cache_dir``.
+    """
+    cache = (
+        RollupCache(config.cache_dir, max_entries=config.cache_max_entries)
+        if config.cache_dir
+        else None
+    )
+    cube, hit = load_or_build(
+        cache,
+        relation,
+        explain_by,
+        measure,
+        aggregate=aggregate,
+        time_attr=time_attr,
+        max_order=config.max_order,
+        deduplicate=config.deduplicate,
+        columnar=config.columnar,
+    )
+    return cube, (hit if cache is not None else None)
+
+
 class ExplainPipeline:
     """One end-to-end TSExplain run over a relation.
 
@@ -77,6 +113,58 @@ class ExplainPipeline:
         self._epsilon = 0
         self._filtered_epsilon = 0
         self._cache_hit: bool | None = None
+        self._prepare_seconds = 0.0
+
+    @classmethod
+    def from_scorer(
+        cls,
+        scorer: SegmentScorer,
+        config: ExplainConfig | None = None,
+        epsilon: int | None = None,
+        cache_hit: bool | None = None,
+        prepare_seconds: float = 0.0,
+    ) -> "ExplainPipeline":
+        """A pipeline whose prepare phase is an already-derived scorer.
+
+        This is how :class:`~repro.core.session.ExplainSession` serves
+        run-tier queries: the session slices/smooths/filters its prepared
+        cube into ``scorer`` once, and every pipeline seeded from it skips
+        module (a) entirely — :meth:`prepare` returns ``scorer`` as-is.
+
+        Parameters
+        ----------
+        scorer:
+            The derived run-tier scorer (already sliced, smoothed and
+            support-filtered as the query requires).
+        config:
+            Run configuration; its prepare-tier fields are ignored because
+            the cube already exists.
+        epsilon:
+            Raw (pre-filter) candidate count to report in the result;
+            defaults to the scorer's cube size.
+        cache_hit:
+            Value for :attr:`cache_hit` (the session's rollup-cache
+            outcome), ``None`` when no cache was involved.
+        prepare_seconds:
+            Wall-clock seconds the caller already spent building/deriving
+            the scorer; seeds the result's ``precomputation`` timing so
+            latency breakdowns stay truthful.
+        """
+        cube = scorer.cube
+        pipeline = cls.__new__(cls)
+        pipeline._relation = None
+        pipeline._measure = cube.measure
+        pipeline._explain_by = cube.explain_by
+        pipeline._aggregate = cube.aggregate.name
+        pipeline._time_attr = None
+        pipeline._config = config or ExplainConfig()
+        pipeline._cube = cube
+        pipeline._scorer = scorer
+        pipeline._epsilon = cube.n_explanations if epsilon is None else epsilon
+        pipeline._filtered_epsilon = cube.n_explanations
+        pipeline._cache_hit = cache_hit
+        pipeline._prepare_seconds = prepare_seconds
+        return pipeline
 
     @property
     def config(self) -> ExplainConfig:
@@ -109,23 +197,15 @@ class ExplainPipeline:
         if self._scorer is not None:
             return self._scorer
         config = self._config
-        cache = (
-            RollupCache(config.cache_dir, max_entries=config.cache_max_entries)
-            if config.cache_dir
-            else None
-        )
-        cube, hit = load_or_build(
-            cache,
+        cube, hit = prepare_cube(
             self._relation,
-            self._explain_by,
             self._measure,
-            aggregate=self._aggregate,
-            time_attr=self._time_attr,
-            max_order=config.max_order,
-            deduplicate=config.deduplicate,
-            columnar=config.columnar,
+            self._explain_by,
+            self._aggregate,
+            self._time_attr,
+            config,
         )
-        if cache is not None:
+        if hit is not None:
             self._cache_hit = hit
         self._epsilon = cube.n_explanations
         if config.smoothing_window is not None:
@@ -168,7 +248,11 @@ class ExplainPipeline:
     def run(self) -> ExplainResult:
         """Execute the pipeline and return the evolving explanations."""
         config = self._config
-        timings = {"precomputation": 0.0, "cascading": 0.0, "segmentation": 0.0}
+        timings = {
+            "precomputation": self._prepare_seconds,
+            "cascading": 0.0,
+            "segmentation": 0.0,
+        }
 
         started = time.perf_counter()
         scorer = self.prepare()

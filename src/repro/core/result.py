@@ -71,9 +71,17 @@ class ExplainResult:
         Wall-clock seconds per pipeline module: ``precomputation``,
         ``cascading``, ``segmentation``, and ``total`` (Figure 15).
     epsilon:
-        Candidate-explanation count before filtering (Table 6).
+        Candidate-explanation count before filtering (Table 6).  For
+        windowed session queries this is the *full cube's* candidate
+        universe (the OLAP slice semantics — see docs/ARCHITECTURE.md):
+        a candidate whose rows all fall outside the window still counts,
+        whereas the legacy filter-and-rebuild path would never enumerate
+        it.  Top-k explanations are unaffected (zero-contribution
+        candidates never win a slot).
     filtered_epsilon:
-        Candidate count actually used after the support filter (Table 6).
+        Candidate count actually used after the support filter (Table 6);
+        for windowed queries the filter runs on the sliced series, so
+        per-window insignificance is reflected here.
     config:
         The configuration that produced this result.
     """

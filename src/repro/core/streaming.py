@@ -21,9 +21,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import ExplainConfig
-from repro.core.engine import TSExplain
-from repro.core.pipeline import ExplainPipeline
 from repro.core.result import ExplainResult
+from repro.core.session import ExplainSession
 from repro.exceptions import QueryError
 from repro.relation.table import Relation
 from repro.segmentation.dp import solve_k_segmentation
@@ -69,6 +68,7 @@ class StreamingExplainer:
         self._time_attr = time_attr
         self._config = config or ExplainConfig()
         self._result: ExplainResult | None = None
+        self._session: ExplainSession | None = None
 
     @property
     def result(self) -> ExplainResult | None:
@@ -79,17 +79,30 @@ class StreamingExplainer:
     def relation(self) -> Relation:
         return self._relation
 
+    def session(self) -> ExplainSession:
+        """The session bound to the *current* snapshot of the stream.
+
+        A session's unit of reuse is one relation + cube parameters, so a
+        new session is created whenever :meth:`update` has grown the
+        relation; between updates, every query (refresh, incremental
+        re-segmentation, ad-hoc windows) shares the snapshot's prepared
+        cube.  With ``cache_dir`` configured the new session still
+        re-serves already-seen snapshots from the rollup cache on disk.
+        """
+        if self._session is None or self._session.relation is not self._relation:
+            self._session = ExplainSession(
+                self._relation,
+                self._measure,
+                self._explain_by,
+                aggregate=self._aggregate,
+                time_attr=self._time_attr,
+                config=self._config,
+            )
+        return self._session
+
     def refresh(self) -> ExplainResult:
         """Full (non-incremental) re-run over the current relation."""
-        engine = TSExplain(
-            self._relation,
-            self._measure,
-            self._explain_by,
-            aggregate=self._aggregate,
-            time_attr=self._time_attr,
-            config=self._config,
-        )
-        self._result = engine.explain()
+        self._result = self.session().explain()
         return self._result
 
     def update(self, new_rows: Relation) -> ExplainResult:
@@ -113,14 +126,7 @@ class StreamingExplainer:
         if positions[0] != 0:
             positions.insert(0, 0)
 
-        pipeline = ExplainPipeline(
-            self._relation,
-            self._measure,
-            self._explain_by,
-            aggregate=self._aggregate,
-            time_attr=self._time_attr,
-            config=self._config,
-        )
+        pipeline = self.session().pipeline()
         scorer = pipeline.prepare()
         solver = pipeline.solver(scorer)
         costs = SegmentationCosts(

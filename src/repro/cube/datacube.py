@@ -24,7 +24,7 @@ from typing import Hashable, Sequence
 import numpy as np
 
 from repro.cube.explanations import CandidateSet, enumerate_candidates
-from repro.exceptions import ExplanationError
+from repro.exceptions import ExplanationError, QueryError
 from repro.relation.aggregates import AggregateFunction, get_aggregate
 from repro.relation.predicates import Conjunction
 from repro.relation.table import Relation
@@ -253,6 +253,38 @@ class ExplanationCube:
         return overall_change[None, :] - excluded_change
 
     # ------------------------------------------------------------------
+    def slice_time(self, start_pos: int, stop_pos: int) -> "ExplanationCube":
+        """The cube restricted to time positions ``[start_pos, stop_pos]``.
+
+        This is the O(window) primitive behind windowed session queries:
+        the overall/included/excluded arrays and labels are sliced along
+        the time axis (views, no copy), so serving a window never rescans
+        the relation or re-enumerates candidates.  The candidate set is
+        the *full* cube's — a candidate with no rows inside the window
+        keeps its (zero-valued) series — and ``supports`` remain whole
+        -relation row counts; the support filter operates on the sliced
+        series, so per-window insignificance is still filtered per query.
+        Both endpoints are inclusive and the window must span at least two
+        points (a single point has no change to explain).
+        """
+        if not 0 <= start_pos < stop_pos < self.n_times:
+            raise QueryError(
+                f"invalid time slice [{start_pos}, {stop_pos}] for series of "
+                f"length {self.n_times}"
+            )
+        window = slice(start_pos, stop_pos + 1)
+        return ExplanationCube.from_arrays(
+            aggregate=self._aggregate,
+            measure=self._measure,
+            explain_by=self._explain_by,
+            labels=self._labels[window],
+            overall=self._overall[window],
+            explanations=self._explanations,
+            supports=self._supports,
+            included=self._included[:, window],
+            excluded=self._excluded[:, window],
+        )
+
     def restrict(self, keep: np.ndarray) -> "ExplanationCube":
         """A cube containing only the candidates selected by ``keep``.
 

@@ -8,7 +8,7 @@ from typing import Mapping
 
 from repro.baselines.base import Segmenter, attach_explanations
 from repro.core.config import ExplainConfig
-from repro.core.pipeline import ExplainPipeline
+from repro.core.session import ExplainSession
 from repro.datasets.base import Dataset
 
 
@@ -36,15 +36,20 @@ class LatencyReport:
 def time_tsexplain(
     dataset: Dataset, config: ExplainConfig, label: str
 ) -> LatencyReport:
-    """Run TSExplain once and capture its per-module latency breakdown."""
-    pipeline = ExplainPipeline(
+    """Run TSExplain once and capture its per-module latency breakdown.
+
+    A fresh session per call keeps the measurement cold: the cube build is
+    charged to this run's ``precomputation``, exactly as the paper's
+    Figure 15 protocol requires.
+    """
+    session = ExplainSession(
         dataset.relation,
         dataset.measure,
         dataset.explain_by,
         aggregate=dataset.aggregate,
         config=config,
     )
-    result = pipeline.run()
+    result = session.explain()
     timings: Mapping[str, float] = result.timings
     return LatencyReport(
         label=label,
@@ -81,13 +86,14 @@ def time_baseline(
 ) -> BaselineLatency:
     """Time a baseline segmentation plus the CA explanation step."""
     config = config or ExplainConfig()
-    pipeline = ExplainPipeline(
+    session = ExplainSession(
         dataset.relation,
         dataset.measure,
         dataset.explain_by,
         aggregate=dataset.aggregate,
         config=config,
     )
+    pipeline = session.pipeline()
     scorer = pipeline.prepare()
     series = scorer.cube.overall_series()
 

@@ -25,6 +25,8 @@ def test_paper_defaults():
         {"m": 0},
         {"max_order": 0},
         {"variant": "bogus"},
+        {"metric": "bogus"},
+        {"metric": "absolute_change"},
         {"k": 0},
         {"k_max": 0},
         {"k": 21},
@@ -50,6 +52,14 @@ def test_presets_match_paper_configurations():
     assert o2.use_filter and not o2.use_guess_verify and o2.use_sketch
     both = ExplainConfig.optimized()
     assert both.use_guess_verify and both.use_sketch
+
+
+def test_known_metrics_accepted_case_insensitively():
+    # A typo'd metric used to surface only deep inside SegmentScorer; now
+    # it fails at construction, and every casing get_metric accepts passes.
+    for name in ("absolute-change", "relative-change", "risk-ratio"):
+        assert ExplainConfig(metric=name).metric == name
+    assert ExplainConfig(metric="Absolute-Change").metric == "Absolute-Change"
 
 
 def test_updated_returns_copy():
