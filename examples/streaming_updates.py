@@ -5,12 +5,14 @@ Run with::
     python examples/streaming_updates.py
 
 Feeds a KPI to the :class:`StreamingExplainer` day by day.  After the
-initial explanation, each update re-segments only over the previous
-cutting points plus the newly arrived region, so the explanation stays
-fresh without re-searching the whole history.  Internally each snapshot
-is an :class:`~repro.core.session.ExplainSession`; the example ends by
-borrowing the current snapshot's session for an ad-hoc zoom that reuses
-the cube the last update already built.
+initial explanation, each update scatters only the new rows into the
+stream's prepared explanation cube (O(delta), no rescan of history) and
+re-segments over the previous cutting points plus the newly arrived
+region, so the explanation stays fresh without re-searching the whole
+history.  The stream holds one long-lived
+:class:`~repro.core.session.ExplainSession`; the example ends by
+borrowing it for an ad-hoc zoom served straight from the incrementally
+maintained cube.
 """
 
 from __future__ import annotations

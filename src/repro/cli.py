@@ -4,7 +4,12 @@ Commands
 --------
 ``explain``
     Run TSExplain on a bundled dataset or a CSV file and print the
-    evolving explanations.
+    evolving explanations.  With ``--follow`` the CSV is tailed like
+    ``tail -f``: newly appended rows are parsed incrementally (O(delta)
+    per poll, byte-offset tailing — no re-read of the whole file) and fed
+    to a :class:`~repro.core.streaming.StreamingExplainer`, which appends
+    them into its prepared cube and re-segments incrementally.  Quoted
+    fields containing raw newlines are not supported in followed files.
 ``diff``
     Classic two-relations diff between two timestamps.
 ``recommend``
@@ -32,22 +37,31 @@ Examples
     python -m repro explain --dataset sp500 --cache-dir ./cube-cache
     python -m repro cache inspect --cache-dir ./cube-cache
     python -m repro cache clear --cache-dir ./cube-cache
+    python -m repro explain --csv live.csv --time day \\
+        --dimensions region --measure revenue --follow --poll-interval 2
 """
 
 from __future__ import annotations
 
 import argparse
+import csv as _csv
+import io
+import os
 import sys
+import time as _time
 from typing import Sequence
 
 from repro.core.config import ExplainConfig
 from repro.core.pipeline import ExplainPipeline
 from repro.core.session import ExplainSession
+from repro.core.streaming import StreamingExplainer
 from repro.cube.cache import RollupCache, cube_key
 from repro.datasets.base import Dataset
 from repro.datasets.registry import available_datasets, load_dataset
-from repro.exceptions import ReproError
-from repro.relation.csvio import read_csv
+from repro.exceptions import ReproError, SchemaError
+from repro.relation.csvio import coerce_csv_columns, read_csv
+from repro.relation.schema import Schema
+from repro.relation.table import Relation
 from repro.viz.report import explanation_table, full_report, segment_sparklines
 
 
@@ -141,11 +155,7 @@ def _session(args: argparse.Namespace, dataset: Dataset, config: ExplainConfig) 
     )
 
 
-def _command_explain(args: argparse.Namespace) -> int:
-    dataset = _load_source(args)
-    config = _build_config(args, dataset)
-    session = _session(args, dataset, config)
-    result = session.query().window(args.start, args.stop).run()
+def _print_result(args: argparse.Namespace, result) -> None:
     if args.report == "table":
         print(explanation_table(result))
     elif args.report == "sparklines":
@@ -157,6 +167,155 @@ def _command_explain(args: argparse.Namespace) -> int:
         f"epsilon={result.epsilon} (filtered {result.filtered_epsilon})  "
         f"latency={result.timings['total']:.2f}s"
     )
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    if args.follow:
+        return _follow_explain(args)
+    dataset = _load_source(args)
+    config = _build_config(args, dataset)
+    session = _session(args, dataset, config)
+    result = session.query().window(args.start, args.stop).run()
+    _print_result(args, result)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# explain --follow: tail a growing CSV into a StreamingExplainer
+# ----------------------------------------------------------------------
+def _complete_lines(path: str, offset: int) -> tuple[bytes, int]:
+    """New complete lines appended to ``path`` since byte ``offset``.
+
+    Only whole lines are consumed — a torn trailing line (a writer caught
+    mid-append) stays in the file for the next poll.  Returns the chunk
+    and the advanced offset.
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError as error:
+        raise ReproError(f"cannot stat followed CSV {path}: {error}") from None
+    if size < offset:
+        raise ReproError(
+            f"followed CSV {path} shrank from {offset} to {size} bytes; "
+            "--follow only supports append-only files"
+        )
+    if size == offset:
+        return b"", offset
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        chunk = handle.read()
+    complete, newline, _ = chunk.rpartition(b"\n")
+    if not newline:
+        return b"", offset
+    return complete + b"\n", offset + len(complete) + 1
+
+
+def _rows_to_relation(
+    chunk: bytes,
+    fieldnames: list[str],
+    dimensions: list[str],
+    measure: str,
+    time_attr: str,
+) -> Relation:
+    """Parse tailed CSV lines into a relation (read_csv's dtype policy)."""
+    schema = Schema.build(dimensions=dimensions, measures=[measure], time=time_attr)
+    index = {name: fieldnames.index(name) for name in schema.names}
+    raw: dict[str, list[str]] = {name: [] for name in schema.names}
+    for row in _csv.reader(io.StringIO(chunk.decode("utf-8"))):
+        if not row:
+            continue
+        if len(row) != len(fieldnames):
+            raise ReproError(
+                f"malformed CSV line with {len(row)} fields (header has "
+                f"{len(fieldnames)})"
+            )
+        for name in schema.names:
+            raw[name].append(row[index[name]])
+    return Relation(coerce_csv_columns(raw, schema), schema)
+
+
+def _follow_explain(args: argparse.Namespace) -> int:
+    if not args.csv:
+        raise ReproError("--follow requires --csv (bundled datasets are static)")
+    if not (args.time and args.dimensions and args.measure):
+        raise ReproError("--csv requires --time, --dimensions and --measure")
+    dimensions = [name.strip() for name in args.dimensions.split(",") if name.strip()]
+    path = args.csv
+
+    # tail -f semantics: a just-created file may not have its header (or
+    # enough rows to segment) yet — wait for the producer, don't error.
+    waiting_announced = False
+    header_chunk, offset = _complete_lines(path, 0)
+    while not header_chunk:
+        if not waiting_announced:
+            print(f"waiting for {path} to grow a header line...", file=sys.stderr)
+            waiting_announced = True
+        _time.sleep(args.poll_interval)
+        header_chunk, offset = _complete_lines(path, 0)
+    lines = header_chunk.split(b"\n", 1)
+    fieldnames = next(_csv.reader([lines[0].decode("utf-8")]))
+    missing = set(dimensions + [args.measure, args.time]) - set(fieldnames)
+    if missing:
+        raise SchemaError(f"CSV {path} lacks columns {sorted(missing)}")
+    initial = _rows_to_relation(
+        lines[1] if len(lines) > 1 else b"",
+        fieldnames,
+        dimensions,
+        args.measure,
+        args.time,
+    )
+    waiting_announced = False
+    while len(set(initial.column(args.time))) < 2:
+        # A single timestamp has no change to explain yet.
+        if not waiting_announced:
+            print(
+                f"waiting for {path} to span two timestamps...", file=sys.stderr
+            )
+            waiting_announced = True
+        _time.sleep(args.poll_interval)
+        chunk, offset = _complete_lines(path, offset)
+        if chunk:
+            initial = initial.concat(
+                _rows_to_relation(chunk, fieldnames, dimensions, args.measure, args.time)
+            )
+    dataset = Dataset(
+        name=path,
+        relation=initial,
+        measure=args.measure,
+        explain_by=tuple(dimensions),
+        aggregate=args.aggregate or "sum",
+    )
+    config = _build_config(args, dataset)
+    explainer = StreamingExplainer(
+        initial,
+        measure=dataset.measure,
+        explain_by=_explain_by(args, dataset),
+        aggregate=dataset.aggregate,
+        time_attr=args.time,
+        config=config,
+    )
+    result = explainer.refresh()
+    print(f"== {path}: initial explanation ({len(result.series)} points) ==")
+    _print_result(args, result)
+
+    updates = 0
+    while args.max_updates is None or updates < args.max_updates:
+        _time.sleep(args.poll_interval)
+        chunk, offset = _complete_lines(path, offset)
+        if not chunk:
+            continue
+        delta = _rows_to_relation(
+            chunk, fieldnames, dimensions, args.measure, args.time
+        )
+        if delta.n_rows == 0:
+            continue
+        result = explainer.update(delta)
+        updates += 1
+        print(
+            f"\n== update {updates}: +{delta.n_rows} rows, "
+            f"{len(result.series)} points =="
+        )
+        _print_result(args, result)
     return 0
 
 
@@ -288,6 +447,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="candidate order threshold beta_max (default 3); must match any "
         "`cache build --max-order` prewarm for the cache to hit",
+    )
+    follow = explain.add_argument_group("streaming (--csv sources only)")
+    follow.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail the CSV for appended rows and update the explanation "
+        "incrementally (O(delta) per update)",
+    )
+    follow.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds between polls of the followed CSV (default 1.0)",
+    )
+    follow.add_argument(
+        "--max-updates",
+        type=int,
+        default=None,
+        help="stop following after this many updates (default: run until "
+        "interrupted)",
     )
     explain.set_defaults(handler=_command_explain)
 

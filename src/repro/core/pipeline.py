@@ -73,6 +73,38 @@ def prepare_cube(
     return cube, (hit if cache is not None else None)
 
 
+def select_scheme(
+    costs: SegmentationCosts, config: ExplainConfig
+) -> tuple[SegmentationScheme, bool, dict[int, SegmentationScheme]]:
+    """Solve the K-segmentation DP and pick K (fixed or elbow).
+
+    Returns ``(scheme, k_was_auto, by_k)``.  The one implementation both
+    :meth:`ExplainPipeline.run` and the streaming incremental path use, so
+    an incremental update can never pick a different K than a full re-run
+    over the same cost matrix.
+    """
+    k_cap = min(config.k_max, costs.n_points - 1)
+    requested_k = config.k
+    if requested_k is not None and requested_k > costs.n_points - 1:
+        raise SegmentationError(
+            f"k={requested_k} infeasible for {costs.n_points} candidate points"
+        )
+    schemes = solve_k_segmentation(
+        costs.cost_matrix, k_max=max(k_cap, requested_k or 1)
+    )
+    by_k = {scheme.k: scheme for scheme in schemes}
+    if requested_k is None:
+        ks = sorted(by_k)
+        chosen_k = elbow_point(ks, [by_k[k].total_cost for k in ks])
+        k_was_auto = True
+    else:
+        if requested_k not in by_k:
+            raise SegmentationError(f"no feasible scheme with k={requested_k}")
+        chosen_k = requested_k
+        k_was_auto = False
+    return by_k[chosen_k], k_was_auto, by_k
+
+
 class ExplainPipeline:
     """One end-to-end TSExplain run over a relation.
 
@@ -291,26 +323,7 @@ class ExplainPipeline:
         timings["segmentation"] += costs.timings["segmentation"]
 
         dp_started = time.perf_counter()
-        k_cap = min(config.k_max, costs.n_points - 1)
-        requested_k = config.k
-        if requested_k is not None and requested_k > costs.n_points - 1:
-            raise SegmentationError(
-                f"k={requested_k} infeasible for {costs.n_points} candidate points"
-            )
-        schemes = solve_k_segmentation(
-            costs.cost_matrix, k_max=max(k_cap, requested_k or 1)
-        )
-        by_k = {scheme.k: scheme for scheme in schemes}
-        if requested_k is None:
-            ks = sorted(by_k)
-            chosen_k = elbow_point(ks, [by_k[k].total_cost for k in ks])
-            k_was_auto = True
-        else:
-            if requested_k not in by_k:
-                raise SegmentationError(f"no feasible scheme with k={requested_k}")
-            chosen_k = requested_k
-            k_was_auto = False
-        scheme = by_k[chosen_k]
+        scheme, k_was_auto, by_k = select_scheme(costs, config)
         timings["segmentation"] += time.perf_counter() - dp_started
 
         result = self._assemble(scorer, costs, scheme, k_was_auto, by_k, timings)
@@ -325,12 +338,16 @@ class ExplainPipeline:
         k_was_auto: bool,
         by_k: dict[int, SegmentationScheme],
         timings: dict[str, float],
+        trust_costs: bool = False,
     ) -> ExplainResult:
         series = scorer.cube.overall_series()
         # When the scheme was found on a sketch, re-evaluate its variance at
         # full resolution so quality numbers are comparable with vanilla
-        # runs (the Table 7 protocol).
-        full_resolution = costs.n_points == scorer.cube.n_times
+        # runs (the Table 7 protocol).  ``trust_costs`` short-circuits that
+        # re-evaluation: a restricted *cut grid* (the streaming schedule)
+        # still measures every segment's variance over full-resolution unit
+        # objects, so its cost entries are already the Table 7 numbers.
+        full_resolution = trust_costs or costs.n_points == scorer.cube.n_times
         original_boundaries = [int(costs.positions[b]) for b in scheme.boundaries]
         if full_resolution:
             total_variance = scheme.total_cost

@@ -40,6 +40,7 @@ from repro.core.recommend import AttributeScore, recommend_explain_by
 from repro.core.result import ExplainResult
 from repro.core.smoothing import smooth_cube
 from repro.cube.datacube import ExplanationCube
+from repro.cube.delta import AppendInfo
 from repro.cube.filters import apply_support_filter
 from repro.diff.scorer import ScoredExplanation, SegmentScorer
 from repro.exceptions import QueryError
@@ -257,6 +258,85 @@ class ExplainSession:
         return aggregate_over_time(
             self._relation, self._measure, self._aggregate, self._time_attr
         )
+
+    # ------------------------------------------------------------------
+    # Streaming appends
+    # ------------------------------------------------------------------
+    def append(self, delta: Relation) -> AppendInfo | None:
+        """Absorb newly arrived rows without re-preparing the session.
+
+        When the session's cube is prepared and appendable, the delta is
+        scattered into it in O(delta)
+        (:meth:`~repro.cube.datacube.ExplanationCube.append`) and only the
+        scorer-LRU entries the append actually invalidates are dropped:
+
+        * every entry whose window's right edge reaches into the changed
+          region (``stop_pos >= first_changed_position``) — smoothing and
+          the support filter are applied *after* slicing, so a window that
+          ends strictly before the first changed position is bitwise
+          unaffected regardless of those knobs;
+        * every entry whose scorer is bound to the live cube object itself
+          (the bare full-window scorer), since the append mutates it in
+          place;
+        * everything, when the append grew the candidate set.
+
+        An unprepared session just grows its relation (the first query
+        builds over the full data), and a session whose cube cannot absorb
+        deltas (cache-loaded without its ledger) falls back to dropping
+        the cube so the next query rebuilds.  Returns the
+        :class:`~repro.cube.delta.AppendInfo` when an in-place append
+        happened, ``None`` otherwise.
+        """
+        new_relation = self._relation.concat(delta)
+        info: AppendInfo | None = None
+        if self._cube is not None and self._cube.appendable:
+            started = time.perf_counter()
+            info = self._cube.append(delta)
+            self._prepare_seconds += time.perf_counter() - started
+            if not info.is_noop:
+                self._series = None
+                if info.candidates_changed:
+                    self._scorers.clear()
+                else:
+                    first_changed = info.first_changed_position
+                    stale = [
+                        key
+                        for key, scorer in self._scorers.items()
+                        if key[1] >= first_changed or scorer.cube is self._cube
+                    ]
+                    for key in stale:
+                        del self._scorers[key]
+        elif self._cube is not None:
+            self._cube = None
+            self._scorers.clear()
+            self._series = None
+            self._cache_hit = None
+        self._relation = new_relation
+        return info
+
+    def adopt_snapshot(self, relation: Relation, cube: ExplanationCube) -> None:
+        """Replace the session's relation and prepared cube wholesale.
+
+        The streaming fast-forward path uses this when a later snapshot of
+        the stream is already in the rollup cache (base fingerprint +
+        append log): instead of re-scattering every delta, the session
+        jumps straight to the cached cube.  All derived scorers are
+        dropped; the adopted cube counts as a cache hit.
+        """
+        if (
+            cube.measure != self._measure
+            or cube.explain_by != tuple(sorted(self._explain_by))
+            or cube.aggregate.name != self._aggregate
+        ):
+            raise QueryError(
+                "adopted cube was built for a different query than this session"
+            )
+        self._relation = relation
+        self._cube = cube
+        self._scorers.clear()
+        self._series = None
+        self._cache_hit = True
+        self._prepare_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Run tier

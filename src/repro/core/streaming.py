@@ -7,11 +7,58 @@ time series, runs the segmentation algorithm based on the existing time
 series' cutting points and newly arrived data points, and updates the
 segmentation results."
 
-:class:`StreamingExplainer` implements exactly that schedule: after the
-first full run, each :meth:`update` re-segments only over the previously
-chosen cutting positions plus every point in the newly appended region, so
-old regions can merge with new data but are not re-searched at full
-resolution.  A full re-run can be forced at any time with :meth:`refresh`.
+:class:`StreamingExplainer` implements that schedule **incrementally end to
+end**.  Each :meth:`update`:
+
+1. scatters only the delta's rows into the session's prepared cube
+   (:meth:`~repro.core.session.ExplainSession.append` →
+   :meth:`~repro.cube.datacube.ExplanationCube.append`) — O(delta), never
+   a whole-relation rescan, and bit-identical to a full rebuild.  (The
+   *derived* scorer is still re-applied per update, so a config with the
+   support filter or smoothing enabled additionally pays that tier's
+   O(epsilon x n) array pass — disable both for the leanest updates);
+2. extends the previous update's segment-cost structures over the appended
+   suffix (:meth:`~repro.segmentation.variance.SegmentationCosts.extend`):
+   unit objects and segment costs strictly before the changed region are
+   reused, only the new region is solved;
+3. re-runs the K-segmentation DP and elbow selection through the same
+   :func:`~repro.core.pipeline.select_scheme` the batch pipeline uses.
+
+Two re-segmentation schedules are available via ``resegment``:
+
+``"pinned"`` (default, the paper's section 8 schedule)
+    Cut candidates are the previous boundaries plus every point in the
+    newly appended region — old regions may merge with new data but are
+    not re-searched at full resolution.
+``"full"``
+    Cut candidates are every point, exactly like a batch run.  Because
+    the appended cube, the extended costs and the shared scheme selection
+    are all bit-identical to their from-scratch counterparts, a ``full``
+    update returns **byte-identical results to** :meth:`refresh` **at a
+    fraction of the cost** (``benchmarks/bench_streaming_append.py``
+    asserts ≥ 10x on a warm stream).
+
+:meth:`refresh` remains the executable specification: it discards the
+session and re-runs the full batch pipeline over the current relation.
+Call it to double-check the incremental state, or after events the
+incremental path refuses (it raises
+:class:`~repro.exceptions.QueryError` when a delta would back-fill new
+timestamps before the stream's end).
+
+With :attr:`~repro.core.config.ExplainConfig.cache_dir` configured, the
+stream persists every snapshot under a **chained key**: the base
+relation is fingerprinted once (at :meth:`refresh`), and each update
+folds only its delta's fingerprint into the previous key
+(:func:`~repro.cube.cache.chain_fingerprint`) — so per-update *hashing*
+is O(delta), never a whole-relation hash.  The snapshot **write** itself
+is still proportional to the cube (a compressed dump of the series
+arrays and the append ledger) and only pays off on replay: leave
+``cache_dir`` unset for high-frequency streams that are never replayed,
+and pair it with ``cache_max_entries`` on long-running ones to bound the
+directory.  The base key and delta sequence are persisted in an
+:class:`~repro.cube.cache.AppendLog`; a restarted stream that replays
+the same base and deltas *fast-forwards* through the cached snapshots
+instead of re-appending.
 """
 
 from __future__ import annotations
@@ -21,13 +68,26 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import ExplainConfig
+from repro.core.pipeline import select_scheme
 from repro.core.result import ExplainResult
 from repro.core.session import ExplainSession
-from repro.exceptions import QueryError
+from repro.cube.cache import (
+    AppendLog,
+    CubeKey,
+    RollupCache,
+    chain_fingerprint,
+    chained_key,
+    cube_key,
+)
+from repro.cube.datacube import ExplanationCube
+from repro.cube.delta import AppendInfo
+from repro.diff.scorer import SegmentScorer
+from repro.exceptions import QueryError, SegmentationError
 from repro.relation.table import Relation
-from repro.segmentation.dp import solve_k_segmentation
-from repro.segmentation.kselect import elbow_point
 from repro.segmentation.variance import SegmentationCosts
+
+#: Valid ``resegment`` schedules.
+RESEGMENT_MODES = ("pinned", "full")
 
 
 class StreamingExplainer:
@@ -36,20 +96,14 @@ class StreamingExplainer:
     Parameters
     ----------
     relation:
-        Initial rows (may be empty of *later* timestamps; new rows arrive
-        via :meth:`update`).
+        Initial rows (new rows arrive via :meth:`update`).
     measure / explain_by / aggregate / time_attr / config:
-        As in :class:`~repro.core.engine.TSExplain`.  A config with
-        ``cache_dir`` set makes every :meth:`update` store its rebuilt
-        cube in the rollup cache, so a restarted (or concurrently
-        replayed) stream re-serves already-seen snapshots from disk
-        instead of rescanning them.  Because every snapshot has a fresh
-        fingerprint, pair ``cache_dir`` with ``cache_max_entries`` on
-        long-running streams to keep the directory bounded — and note
-        that each update then pays a whole-relation fingerprint plus a
-        compressed cube write that only pays off on replay, so leave
-        ``cache_dir`` unset for high-frequency streams that are never
-        replayed.
+        As in :class:`~repro.core.engine.TSExplain`.  ``config.cache_dir``
+        enables the chained snapshot cache described in the module
+        docstring.
+    resegment:
+        ``"pinned"`` (paper schedule: previous cuts + new points) or
+        ``"full"`` (all points; byte-identical to :meth:`refresh`).
     """
 
     def __init__(
@@ -60,15 +114,31 @@ class StreamingExplainer:
         aggregate: str = "sum",
         time_attr: str | None = None,
         config: ExplainConfig | None = None,
+        resegment: str = "pinned",
     ):
+        if resegment not in RESEGMENT_MODES:
+            raise QueryError(
+                f"unknown resegment mode {resegment!r}; use one of {RESEGMENT_MODES}"
+            )
         self._relation = relation
         self._measure = measure
         self._explain_by = tuple(explain_by)
         self._aggregate = aggregate
         self._time_attr = time_attr
         self._config = config or ExplainConfig()
+        self._resegment = resegment
         self._result: ExplainResult | None = None
         self._session: ExplainSession | None = None
+        self._costs: SegmentationCosts | None = None
+        self._cache = (
+            RollupCache(self._config.cache_dir, max_entries=self._config.cache_max_entries)
+            if self._config.cache_dir
+            else None
+        )
+        self._base_key: CubeKey | None = None
+        self._chain_fp: str | None = None
+        self._log: AppendLog | None = None
+        self._updates = 0
 
     @property
     def result(self) -> ExplainResult | None:
@@ -79,15 +149,19 @@ class StreamingExplainer:
     def relation(self) -> Relation:
         return self._relation
 
-    def session(self) -> ExplainSession:
-        """The session bound to the *current* snapshot of the stream.
+    @property
+    def resegment(self) -> str:
+        """The re-segmentation schedule (``pinned`` or ``full``)."""
+        return self._resegment
 
-        A session's unit of reuse is one relation + cube parameters, so a
-        new session is created whenever :meth:`update` has grown the
-        relation; between updates, every query (refresh, incremental
-        re-segmentation, ad-hoc windows) shares the snapshot's prepared
-        cube.  With ``cache_dir`` configured the new session still
-        re-serves already-seen snapshots from the rollup cache on disk.
+    def session(self) -> ExplainSession:
+        """The long-lived session holding the stream's prepared cube.
+
+        Unlike the batch engines, the streaming session survives updates:
+        :meth:`update` appends into its cube in place and invalidates only
+        the derived scorers the append touched, so ad-hoc interactive
+        queries between updates reuse the incrementally maintained cube.
+        :meth:`refresh` replaces the session wholesale (full rebuild).
         """
         if self._session is None or self._session.relation is not self._relation:
             self._session = ExplainSession(
@@ -100,64 +174,178 @@ class StreamingExplainer:
             )
         return self._session
 
+    # ------------------------------------------------------------------
     def refresh(self) -> ExplainResult:
-        """Full (non-incremental) re-run over the current relation."""
-        self._result = self.session().explain()
-        return self._result
+        """Full (non-incremental) re-run over the current relation.
 
-    def update(self, new_rows: Relation) -> ExplainResult:
-        """Append rows and incrementally update the explanation.
-
-        New timestamps must not precede existing ones; rows *at* existing
-        timestamps are allowed (late-arriving records for the latest day).
+        The executable specification of :meth:`update`: the session, its
+        cube and the incremental cost structures are discarded and rebuilt
+        from the relation by the batch pipeline.  With a cache configured
+        this is also the one place the stream pays a whole-relation
+        fingerprint — it anchors the chained snapshot keys and resets the
+        append log position.
         """
-        old_n = self._n_times()
-        self._relation = self._relation.concat(new_rows)
-        if self._result is None:
-            return self.refresh()
-        new_n = self._n_times()
-        if new_n < old_n:
-            raise QueryError("relation shrank after update")  # pragma: no cover
-
-        # Candidate cut positions: previous boundaries + all new points.
-        previous = set(self._result.boundaries)
-        previous.discard(max(previous))  # the old right endpoint may shift
-        positions = sorted(previous | set(range(max(old_n - 1, 1) - 1, new_n)))
-        if positions[0] != 0:
-            positions.insert(0, 0)
-
-        pipeline = self.session().pipeline()
-        scorer = pipeline.prepare()
-        solver = pipeline.solver(scorer)
-        costs = SegmentationCosts(
-            scorer,
-            solver,
-            m=self._config.m,
-            variant=self._config.variant,
-            cut_positions=np.asarray(positions, dtype=np.intp),
-        )
-        k_cap = min(self._config.k_max, costs.n_points - 1)
-        schemes = solve_k_segmentation(costs.cost_matrix, k_max=k_cap)
-        by_k = {scheme.k: scheme for scheme in schemes}
-        if self._config.k is not None and self._config.k in by_k:
-            chosen = by_k[self._config.k]
-            k_was_auto = False
-        else:
-            ks = sorted(by_k)
-            chosen = by_k[elbow_point(ks, [by_k[k].total_cost for k in ks])]
-            k_was_auto = True
-        self._result = pipeline._assemble(
-            scorer,
-            costs,
-            chosen,
-            k_was_auto,
-            by_k,
-            timings={"precomputation": 0.0, "cascading": 0.0, "segmentation": 0.0},
-        )
+        self._session = None
+        self._costs = None
+        session = self.session()
+        self._result = session.explain()
+        if self._cache is not None:
+            config = session.config
+            self._base_key = cube_key(
+                self._relation,
+                self._measure,
+                self._explain_by,
+                aggregate=self._aggregate,
+                time_attr=self._time_attr,
+                max_order=config.max_order,
+                deduplicate=config.deduplicate,
+            )
+            self._chain_fp = self._base_key.fingerprint
+            self._log = AppendLog(self._cache.directory, self._base_key)
+            self._updates = 0
         return self._result
 
     # ------------------------------------------------------------------
-    def _n_times(self) -> int:
-        schema = self._relation.schema
-        name = self._time_attr or schema.require_time()
-        return len(self._relation.distinct_values(name))
+    def update(self, new_rows: Relation) -> ExplainResult:
+        """Append rows and incrementally update the explanation.
+
+        Delta timestamps must be existing ones (late-arriving records) or
+        sort strictly after the stream's last timestamp; a delta that
+        would back-fill *new* timestamps into the past raises
+        :class:`~repro.exceptions.QueryError` before any state changes.
+        Rows within the delta may arrive in any order.
+        """
+        if self._result is None:
+            self._relation = self._relation.concat(new_rows)
+            return self.refresh()
+        session = self.session()
+        info = self._apply_delta(session, new_rows)
+        self._relation = session.relation
+
+        pipeline = session.pipeline()
+        scorer = pipeline.prepare()
+        solver = pipeline.solver(scorer)
+        costs = self._grow_costs(scorer, solver, info)
+        scheme, k_was_auto, by_k = select_scheme(costs, self._config)
+        timings = {
+            # The session charged the cube append + scorer derivation to
+            # the pipeline's prepare tier; keep the breakdown truthful.
+            "precomputation": pipeline._prepare_seconds + costs.timings["precompute"],
+            "cascading": costs.timings["cascading"],
+            "segmentation": costs.timings["segmentation"],
+        }
+        self._result = pipeline._assemble(
+            scorer, costs, scheme, k_was_auto, by_k, timings, trust_costs=True
+        )
+        self._costs = costs
+        return self._result
+
+    # ------------------------------------------------------------------
+    def _apply_delta(self, session: ExplainSession, delta: Relation) -> AppendInfo | None:
+        """Append the delta to the session, via the chained cache if set."""
+        if self._cache is None or self._base_key is None or self._chain_fp is None:
+            return session.append(delta)
+        position = self._updates
+        delta_fp = delta.fingerprint()
+        matched = self._log.align(position, delta_fp) if self._log is not None else False
+        next_fp = chain_fingerprint(self._chain_fp, delta_fp)
+        key = chained_key(self._base_key, next_fp)
+        info: AppendInfo | None = None
+        if matched:
+            cached = self._cache.load(key)
+            if cached is not None and cached.appendable and session.prepared:
+                # Fast-forward: this snapshot was already built by an
+                # earlier run of the same stream.
+                info = _adopt_info(session.cube, cached, delta)
+                session.adopt_snapshot(session.relation.concat(delta), cached)
+        if info is None:
+            info = session.append(delta)
+            if info is not None:
+                try:
+                    self._cache.store(key, session.cube)
+                except (TypeError, OSError):
+                    # An unpersistable snapshot never fails the stream.
+                    pass
+        self._chain_fp = next_fp
+        self._updates += 1
+        return info
+
+    def _grow_costs(
+        self,
+        scorer: SegmentScorer,
+        solver,
+        info: AppendInfo | None,
+    ) -> SegmentationCosts:
+        """Segment costs for the grown series, incrementally when possible."""
+        config = self._config
+        n_times = scorer.cube.n_times
+        positions: np.ndarray | None = None
+        if self._resegment == "pinned" and self._result is not None:
+            old_n = info.old_n_times if info is not None else n_times
+            previous = set(self._result.boundaries)
+            previous.discard(max(previous))  # the old right endpoint may shift
+            grid = sorted(previous | set(range(max(old_n - 1, 1) - 1, n_times)))
+            if grid[0] != 0:
+                grid.insert(0, 0)
+            positions = np.asarray(grid, dtype=np.intp)
+        if info is not None and self._costs is not None and not info.candidates_changed:
+            first_changed = info.first_changed_position
+            if config.smoothing_window is not None:
+                # Smoothing bleeds changed values half a window backwards.
+                first_changed = max(first_changed - config.smoothing_window // 2, 0)
+            try:
+                return self._costs.extend(
+                    scorer,
+                    solver,
+                    cut_positions=positions,
+                    first_changed_position=first_changed,
+                )
+            except SegmentationError:
+                # Candidate set or shape mismatch (e.g. the support filter
+                # re-selected candidates): fall through to a fresh build.
+                pass
+        return SegmentationCosts(
+            scorer,
+            solver,
+            m=config.m,
+            variant=config.variant,
+            cut_positions=positions,
+        )
+
+
+def _adopt_info(
+    old_cube: ExplanationCube, cached: ExplanationCube, delta: Relation
+) -> AppendInfo:
+    """Reconstruct what an in-memory append *would* have reported.
+
+    Used on the fast-forward path, where the appended snapshot comes from
+    the cache instead of scattering the delta — the re-segmentation still
+    needs to know which positions changed and whether candidates did.
+    """
+    state = cached.append_state
+    time_attr = state.time_attr if state is not None else None
+    old_positions = {label: pos for pos, label in enumerate(old_cube.labels)}
+    touched = sorted(
+        {
+            old_positions[label]
+            for label in (
+                _as_python(value)
+                for value in np.unique(delta.column(time_attr))
+            )
+            if label in old_positions
+        }
+    )
+    old_n = old_cube.n_times
+    return AppendInfo(
+        n_rows=delta.n_rows,
+        old_n_times=old_n,
+        n_times=cached.n_times,
+        new_labels=tuple(cached.labels[old_n:]),
+        touched_positions=tuple(touched),
+        first_changed_position=touched[0] if touched else old_n,
+        candidates_changed=old_cube.explanations != cached.explanations,
+    )
+
+
+def _as_python(value):
+    return value.item() if hasattr(value, "item") else value

@@ -2,7 +2,8 @@
 the persistent rollup cache that makes built cubes reusable artifacts."""
 
 from repro.cube.cache import CacheEntry, CubeKey, RollupCache, cube_key, load_or_build
-from repro.cube.datacube import ExplanationCube
+from repro.cube.datacube import ExplanationCube, merge_cubes
+from repro.cube.delta import AppendInfo
 from repro.cube.explanations import CandidateSet, enumerate_candidates
 from repro.cube.filters import (
     DEFAULT_FILTER_RATIO,
@@ -11,6 +12,7 @@ from repro.cube.filters import (
 )
 
 __all__ = [
+    "AppendInfo",
     "CacheEntry",
     "CandidateSet",
     "CubeKey",
@@ -21,5 +23,6 @@ __all__ = [
     "cube_key",
     "enumerate_candidates",
     "load_or_build",
+    "merge_cubes",
     "support_filter_mask",
 ]

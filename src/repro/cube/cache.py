@@ -41,6 +41,23 @@ corrupt at most itself, never execute code in the reader.  JSON confines
 labels and explanation values to str/int/float/bool/None; that is what
 relations produce (``.item()``-converted scalars), and anything else
 fails the store loudly rather than silently widening the format.
+
+Since format 2, an *appendable* cube also persists its delta-maintenance
+ledger (:mod:`repro.cube.delta`): the per-subset aggregate states, group
+counts/values and parent maps, plus the overall state.  A format-2 entry
+therefore revives as an appendable cube — a restarted stream can load a
+snapshot and keep appending to it.
+
+Streaming replay (chain keys + append log)
+------------------------------------------
+Streaming snapshots cannot afford a whole-relation fingerprint per
+update.  Instead, a stream derives each snapshot's key from its
+predecessor: :func:`chain_fingerprint` hashes ``(previous fingerprint,
+delta fingerprint)``, so only the O(delta) delta rows are hashed per
+update.  :class:`AppendLog` persists the base key plus the delta
+fingerprint sequence next to the cache entries; a replayed stream whose
+base and deltas match the log fast-forwards by loading the chained
+entries instead of re-appending.
 """
 
 from __future__ import annotations
@@ -49,21 +66,23 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from repro.cube.datacube import ExplanationCube
+from repro.cube.delta import CubeAppendState, SubsetLedger
 from repro.exceptions import AggregateError
 from repro.relation.aggregates import AggregateFunction, get_aggregate
 from repro.relation.predicates import Conjunction
+from repro.relation.schema import Attribute, AttributeKind, Schema
 from repro.relation.table import Relation
 
 #: Bump when the on-disk payload layout changes; older entries then read
 #: as misses and are rebuilt.
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
 
 #: Filename suffix of cache entries.
 CACHE_SUFFIX = ".cube.npz"
@@ -177,30 +196,39 @@ class RollupCache:
     # Load / store
     # ------------------------------------------------------------------
     def load(self, key: CubeKey) -> ExplanationCube | None:
-        """The cached cube for ``key``, or ``None`` on miss/corruption."""
+        """The cached cube for ``key``, or ``None`` on miss/corruption.
+
+        Entries stored with their delta ledger (appendable cubes) revive
+        as appendable cubes; ledger-less entries load as fixed cubes.
+        """
         path = self.path_for(key)
         try:
             with np.load(path, allow_pickle=False) as data:
                 header = _read_header(data)
                 if header["format"] != CACHE_FORMAT or header["key"] != _key_dict(key):
                     return None
-                explanations = tuple(
-                    Conjunction.from_items(
-                        (name, value) for name, value in items
+                if header.get("appendable"):
+                    cube = ExplanationCube.from_append_state(
+                        _load_append_state(header, data)
                     )
-                    for items in header["explanations"]
-                )
-                cube = ExplanationCube.from_arrays(
-                    aggregate=get_aggregate(header["aggregate"]),
-                    measure=header["measure"],
-                    explain_by=tuple(header["explain_by"]),
-                    labels=tuple(header["labels"]),
-                    overall=np.asarray(data["overall"], dtype=np.float64),
-                    explanations=explanations,
-                    supports=np.asarray(data["supports"], dtype=np.int64),
-                    included=np.asarray(data["included"], dtype=np.float64),
-                    excluded=np.asarray(data["excluded"], dtype=np.float64),
-                )
+                else:
+                    explanations = tuple(
+                        Conjunction.from_items(
+                            (name, value) for name, value in items
+                        )
+                        for items in header["explanations"]
+                    )
+                    cube = ExplanationCube.from_arrays(
+                        aggregate=get_aggregate(header["aggregate"]),
+                        measure=header["measure"],
+                        explain_by=tuple(header["explain_by"]),
+                        labels=tuple(header["labels"]),
+                        overall=np.asarray(data["overall"], dtype=np.float64),
+                        explanations=explanations,
+                        supports=np.asarray(data["supports"], dtype=np.int64),
+                        included=np.asarray(data["included"], dtype=np.float64),
+                        excluded=np.asarray(data["excluded"], dtype=np.float64),
+                    )
             # Mark the entry as recently used so LRU eviction keeps hot
             # entries alive.
             try:
@@ -219,9 +247,13 @@ class RollupCache:
     def store(self, key: CubeKey, cube: ExplanationCube) -> Path:
         """Atomically persist a built cube under ``key``; returns the path.
 
-        Raises ``TypeError`` if the cube's labels or explanation values
-        are not JSON scalars (str/int/float/bool/None) — relations only
-        produce such scalars, so this fires for hand-built cubes only.
+        An appendable cube's delta ledger (aggregate states, group
+        values, counts, parent maps) is stored alongside the series
+        arrays, so the entry revives as an appendable cube.  Raises
+        ``TypeError`` if the cube's labels, explanation values or group
+        values are not JSON scalars (str/int/float/bool/None) — relations
+        only produce such scalars, so this fires for hand-built cubes
+        only.
         """
         header = {
             "format": CACHE_FORMAT,
@@ -237,6 +269,39 @@ class RollupCache:
             "n_explanations": cube.n_explanations,
             "n_times": cube.n_times,
         }
+        arrays: dict[str, np.ndarray] = {
+            "overall": cube.overall_values,
+            "supports": cube.supports,
+            "included": cube.included_values,
+            "excluded": cube.excluded_values,
+        }
+        state = cube.append_state
+        if state is not None:
+            n = state.n_times
+            header["appendable"] = True
+            header["state"] = {
+                "time_attr": state.time_attr,
+                "max_order": state.max_order,
+                "deduplicate": state.deduplicate,
+                "schema": [
+                    [attribute.name, attribute.kind.value]
+                    for attribute in state.schema
+                ],
+                "subsets": [list(ledger.attrs) for ledger in state.ledgers],
+                "values": [
+                    [[_python_value(value) for value in column] for column in ledger.values]
+                    for ledger in state.ledgers
+                ],
+            }
+            arrays["overall_state"] = state.overall[:, :n]
+            for i, ledger in enumerate(state.ledgers):
+                arrays[f"state{i}"] = ledger.state[:, :, :n]
+                arrays[f"counts{i}"] = ledger.counts
+                arrays[f"parents{i}"] = (
+                    np.stack(ledger.parents)
+                    if ledger.parents
+                    else np.empty((0, ledger.n_slots), dtype=np.intp)
+                )
         header_bytes = json.dumps(header, allow_nan=True).encode("utf-8")
         path = self.path_for(key)
         self._directory.mkdir(parents=True, exist_ok=True)
@@ -248,10 +313,7 @@ class RollupCache:
                 np.savez_compressed(
                     tmp,
                     header=np.frombuffer(header_bytes, dtype=np.uint8),
-                    overall=cube.overall_values,
-                    supports=cube.supports,
-                    included=cube.included_values,
-                    excluded=cube.excluded_values,
+                    **arrays,
                 )
             os.replace(tmp_name, path)
         except BaseException:
@@ -324,12 +386,18 @@ class RollupCache:
         return rows
 
     def clear(self) -> int:
-        """Delete every cache entry (and any orphaned temp file left by a
-        crashed writer); returns the number of files removed."""
+        """Delete every cache entry, append log, and any orphaned temp
+        file left by a crashed writer; returns the number of files
+        removed."""
         removed = 0
         if not self._directory.is_dir():
             return removed
-        for pattern in (f"*{CACHE_SUFFIX}", f"*{CACHE_SUFFIX}.tmp"):
+        for pattern in (
+            f"*{CACHE_SUFFIX}",
+            f"*{CACHE_SUFFIX}.tmp",
+            f"*{LOG_SUFFIX}",
+            f"*{LOG_SUFFIX}.tmp",
+        ):
             for path in self._directory.glob(pattern):
                 try:
                     path.unlink()
@@ -344,6 +412,165 @@ def _key_dict(key: CubeKey) -> dict:
     rendered = asdict(key)
     rendered["explain_by"] = list(rendered["explain_by"])
     return rendered
+
+
+def _python_value(value: object) -> object:
+    return value.item() if hasattr(value, "item") else value
+
+
+def _load_append_state(header: dict, data: "np.lib.npyio.NpzFile") -> CubeAppendState:
+    """Reconstruct a cube's delta ledger from a format-2 entry."""
+    meta = header["state"]
+    schema = Schema(
+        Attribute(name, AttributeKind(kind)) for name, kind in meta["schema"]
+    )
+    ledgers = []
+    for i, (attrs, values) in enumerate(zip(meta["subsets"], meta["values"])):
+        parents = np.asarray(data[f"parents{i}"], dtype=np.intp)
+        ledgers.append(
+            SubsetLedger(
+                attrs=tuple(attrs),
+                state=np.asarray(data[f"state{i}"], dtype=np.float64),
+                counts=np.asarray(data[f"counts{i}"], dtype=np.int64),
+                values=values,
+                parents=[parents[d] for d in range(parents.shape[0])],
+                redundant=np.zeros(len(values[0]) if values else 0, dtype=bool),
+            )
+        )
+    state = CubeAppendState(
+        schema=schema,
+        measure=header["measure"],
+        explain_by=tuple(header["explain_by"]),
+        time_attr=meta["time_attr"],
+        max_order=int(meta["max_order"]),
+        deduplicate=bool(meta["deduplicate"]),
+        aggregate=get_aggregate(header["aggregate"]),
+        labels=header["labels"],
+        overall=np.asarray(data["overall_state"], dtype=np.float64),
+        ledgers=ledgers,
+    )
+    # Redundancy is derived, not stored: replay the dedup rule over the
+    # loaded counts/parent maps.
+    state._recompute_redundancy()
+    return state
+
+
+# ----------------------------------------------------------------------
+# Streaming replay: chained snapshot keys and the append log
+# ----------------------------------------------------------------------
+#: Filename suffix of append logs.
+LOG_SUFFIX = ".append.json"
+
+#: Version tag of the append-log JSON layout.
+LOG_FORMAT = 1
+
+
+def chain_fingerprint(previous: str, delta_fingerprint: str) -> str:
+    """The pseudo-fingerprint of ``snapshot + delta``.
+
+    Streaming snapshots key their cache entries by folding each delta's
+    fingerprint into the previous snapshot's, so a per-update store/load
+    hashes only the O(delta) new rows — never the whole relation.  The
+    two components are length-framed before hashing, so no pair of
+    (previous, delta) strings can collide by concatenation.
+    """
+    digest = hashlib.sha256()
+    for part in (previous, delta_fingerprint):
+        encoded = part.encode("utf-8")
+        digest.update(len(encoded).to_bytes(8, "little"))
+        digest.update(encoded)
+    return f"chain-{digest.hexdigest()}"
+
+
+def chained_key(base_key: CubeKey, fingerprint: str) -> CubeKey:
+    """``base_key`` with its data component replaced by a chained one."""
+    return replace(base_key, fingerprint=fingerprint)
+
+
+class AppendLog:
+    """The persisted delta history of one cached stream.
+
+    One JSON file per ``(base relation, query parameters)`` pair, stored
+    next to the cache entries: the base :class:`CubeKey` plus the ordered
+    delta fingerprints appended so far.  A restarted stream opens the log,
+    replays its own deltas against it, and — as long as they match —
+    fast-forwards through cached snapshots without rebuilding or
+    re-appending; the first mismatching delta truncates the log and the
+    chain diverges onto fresh entries.
+    """
+
+    def __init__(self, directory: str | Path, base_key: CubeKey):
+        self._path = (
+            Path(directory).expanduser() / f"{base_key.digest()}{LOG_SUFFIX}"
+        )
+        self._base_key = base_key
+        self._deltas: list[str] = []
+        try:
+            payload = json.loads(self._path.read_text(encoding="utf-8"))
+            if (
+                payload.get("format") == LOG_FORMAT
+                and payload.get("base_key") == _key_dict(base_key)
+            ):
+                self._deltas = [str(fp) for fp in payload["deltas"]]
+        except (OSError, ValueError, KeyError):
+            # Missing or unreadable logs start empty; they are an
+            # optimization record, never a correctness input.
+            pass
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def base_key(self) -> CubeKey:
+        return self._base_key
+
+    @property
+    def deltas(self) -> tuple[str, ...]:
+        """Recorded delta fingerprints, oldest first."""
+        return tuple(self._deltas)
+
+    def align(self, position: int, delta_fingerprint: str) -> bool:
+        """Record the ``position``-th delta; returns whether it matched.
+
+        A match (the log already holds this fingerprint at this position)
+        means the chained cache entry for the resulting snapshot may
+        exist — the replay fast-forward case.  A mismatch truncates the
+        recorded history from ``position`` on and persists the new
+        fingerprint, diverging the chain.
+        """
+        if position < len(self._deltas) and self._deltas[position] == delta_fingerprint:
+            return True
+        del self._deltas[position:]
+        self._deltas.append(delta_fingerprint)
+        self._save()
+        return False
+
+    def fingerprint_at(self, position: int) -> str:
+        """The chained fingerprint after ``position`` deltas (0 = base)."""
+        fingerprint = self._base_key.fingerprint
+        for delta in self._deltas[:position]:
+            fingerprint = chain_fingerprint(fingerprint, delta)
+        return fingerprint
+
+    def _save(self) -> None:
+        payload = {
+            "format": LOG_FORMAT,
+            "base_key": _key_dict(self._base_key),
+            "deltas": self._deltas,
+        }
+        try:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            handle, tmp_name = tempfile.mkstemp(
+                dir=self._path.parent, suffix=f"{LOG_SUFFIX}.tmp"
+            )
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(payload, tmp)
+            os.replace(tmp_name, self._path)
+        except OSError:
+            # An unwritable cache directory degrades to an unlogged
+            # stream, exactly like an unpersistable cube store.
+            pass
 
 
 def _read_header(data: "np.lib.npyio.NpzFile") -> dict:

@@ -23,6 +23,7 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
+from repro.cube.delta import AppendInfo, CubeAppendState, _grow_time
 from repro.cube.explanations import CandidateSet, enumerate_candidates
 from repro.exceptions import ExplanationError, QueryError
 from repro.relation.aggregates import AggregateFunction, get_aggregate
@@ -57,6 +58,11 @@ class ExplanationCube:
         Use the vectorized batch finalize (default).  ``False`` falls back
         to the legacy per-candidate Python loop — same results, kept for
         benchmarking and as an executable specification.
+    appendable:
+        Retain the pre-finalize aggregate states (the delta-maintenance
+        ledger, see :mod:`repro.cube.delta`) so :meth:`append` can absorb
+        new rows in O(delta).  Costs roughly one extra copy of the series
+        arrays in memory; ``False`` builds a classic fixed cube.
     """
 
     def __init__(
@@ -69,6 +75,7 @@ class ExplanationCube:
         max_order: int = 3,
         deduplicate: bool = True,
         columnar: bool = True,
+        appendable: bool = True,
     ):
         if isinstance(aggregate, str):
             aggregate = get_aggregate(aggregate)
@@ -81,7 +88,7 @@ class ExplanationCube:
         candidates = enumerate_candidates(
             relation, explain_by, max_order=max_order, deduplicate=deduplicate
         )
-        included, excluded = _materialize_series(
+        included, excluded, per_subset_states = _materialize_series(
             candidates,
             values,
             time_positions,
@@ -101,6 +108,24 @@ class ExplanationCube:
         self._included = included
         self._excluded = excluded
         self._index = {conj: i for i, conj in enumerate(self._explanations)}
+        self._append_state: CubeAppendState | None = None
+        self._overall_buf = self._overall
+        self._included_buf = included
+        self._excluded_buf = excluded
+        if appendable:
+            self._append_state = CubeAppendState.from_build(
+                relation,
+                candidates,
+                aggregate,
+                measure,
+                self._explain_by,
+                time_attr or relation.schema.require_time(),
+                max_order,
+                deduplicate,
+                labels,
+                overall_state,
+                per_subset_states,
+            )
 
     # ------------------------------------------------------------------
     # Array-level constructor used by restrict(), smoothing and the
@@ -137,10 +162,31 @@ class ExplanationCube:
         cube._included = included
         cube._excluded = excluded
         cube._index = {conj: i for i, conj in enumerate(explanations)}
+        cube._append_state = None
+        cube._overall_buf = overall
+        cube._included_buf = included
+        cube._excluded_buf = excluded
         return cube
 
     # Backwards-compatible alias for the pre-cache private name.
     _from_arrays = from_arrays
+
+    @classmethod
+    def from_append_state(cls, state: CubeAppendState) -> "ExplanationCube":
+        """Assemble a (re-)finalized appendable cube from a delta ledger.
+
+        Used by the rollup cache to revive appendable cubes from disk and
+        by :func:`merge_cubes`; the candidate layout, supports and all
+        series arrays are derived from the ledger's states, exactly as a
+        fresh build over the equivalent relation would produce them.
+        """
+        cube = cls.__new__(cls)
+        cube._aggregate = state.aggregate
+        cube._measure = state.measure
+        cube._explain_by = state.explain_by
+        cube._append_state = state
+        cube._refinalize_full()
+        return cube
 
     # ------------------------------------------------------------------
     # Introspection
@@ -307,11 +353,188 @@ class ExplanationCube:
             excluded=self._excluded[keep],
         )
 
+    # ------------------------------------------------------------------
+    # Delta maintenance (streaming appends; see repro.cube.delta)
+    # ------------------------------------------------------------------
+    @property
+    def appendable(self) -> bool:
+        """Whether this cube retains the ledger :meth:`append` needs.
+
+        Only relation-built cubes (and cache entries stored with their
+        state) are appendable; derived cubes — :meth:`slice_time`,
+        :meth:`restrict`, smoothed copies — are fixed snapshots.
+        """
+        return self._append_state is not None
+
+    @property
+    def append_state(self) -> CubeAppendState | None:
+        """The delta-maintenance ledger (``None`` for fixed cubes)."""
+        return self._append_state
+
+    def append(self, delta: Relation) -> AppendInfo:
+        """Absorb newly arrived rows in O(delta), **in place**.
+
+        Scatters the delta rows' factorized codes into the retained
+        aggregate states, extends the time axis with any new labels, and
+        re-finalizes only the touched ``(candidate, timestamp)`` cells —
+        the result is bit-identical to rebuilding the cube over
+        ``base.concat(delta)`` (the property suite asserts this across
+        SUM/COUNT/AVG/VAR).  Delta timestamps must be existing labels
+        (late-arriving records) or sort strictly after the current last
+        label; anything else raises :class:`~repro.exceptions.QueryError`.
+
+        Because the append mutates the published series arrays, cubes
+        *derived* from this one (slices, smoothed/filtered copies, bound
+        scorers) whose window overlaps
+        :attr:`AppendInfo.first_changed_position` become stale; callers
+        holding such derivations must drop them —
+        :meth:`repro.core.session.ExplainSession.append` does exactly
+        that for its scorer LRU.
+        """
+        if self._append_state is None:
+            raise ExplanationError(
+                "this cube is not appendable: it is a derived slice/smoothed/"
+                "filtered copy or was cache-loaded without its delta ledger; "
+                "rebuild from the relation with appendable=True"
+            )
+        info = self._append_state.apply_delta(delta)
+        if info.is_noop:
+            return info
+        if info.candidates_changed:
+            self._refinalize_full()
+        else:
+            cols = np.asarray(
+                list(info.touched_positions)
+                + list(range(info.old_n_times, info.n_times)),
+                dtype=np.intp,
+            )
+            self._refinalize_cols(cols)
+        return info
+
+    def _refinalize_full(self) -> None:
+        """Re-derive candidates and every series cell from the ledger."""
+        state = self._append_state
+        assert state is not None
+        aggregate = state.aggregate
+        n = state.n_times
+        capacity = state.overall.shape[1]
+        overall_state = state.overall[:, :n]
+        layouts = state.layouts()
+        n_candidates = sum(layout.shape[0] for layout in layouts)
+
+        explanations: list[Conjunction] = []
+        supports = np.empty(n_candidates, dtype=np.int64)
+        included = np.zeros((n_candidates, capacity), dtype=np.float64)
+        excluded = np.zeros((n_candidates, capacity), dtype=np.float64)
+        row = 0
+        for ledger, layout in zip(state.ledgers, layouts):
+            k = layout.shape[0]
+            if not k:
+                continue
+            batch = ledger.state[:, layout, :n]
+            included[row : row + k, :n] = aggregate.finalize(batch)
+            excluded[row : row + k, :n] = aggregate.finalize(
+                aggregate.subtract(overall_state[:, None, :], batch)
+            )
+            supports[row : row + k] = ledger.counts[layout]
+            explanations.extend(ledger.conjunction(int(slot)) for slot in layout)
+            row += k
+
+        overall_buf = np.zeros(capacity, dtype=np.float64)
+        overall_buf[:n] = aggregate.finalize(overall_state)
+        self._labels = tuple(state.labels)
+        self._overall_buf = overall_buf
+        self._included_buf = included
+        self._excluded_buf = excluded
+        self._overall = overall_buf[:n]
+        self._included = included[:, :n]
+        self._excluded = excluded[:, :n]
+        self._explanations = tuple(explanations)
+        self._supports = supports
+        self._index = {conj: i for i, conj in enumerate(self._explanations)}
+
+    def _refinalize_cols(self, cols: np.ndarray) -> None:
+        """Re-finalize only the given time columns (layout unchanged)."""
+        state = self._append_state
+        assert state is not None
+        aggregate = state.aggregate
+        n = state.n_times
+        self._overall_buf = _grow_time(self._overall_buf, n)
+        self._included_buf = _grow_time(self._included_buf, n)
+        self._excluded_buf = _grow_time(self._excluded_buf, n)
+
+        overall_cols = state.overall[:, cols]
+        self._overall_buf[cols] = aggregate.finalize(overall_cols)
+        row = 0
+        supports_parts: list[np.ndarray] = []
+        for ledger in state.ledgers:
+            layout = ledger.layout()
+            k = layout.shape[0]
+            supports_parts.append(ledger.counts[layout])
+            if not k:
+                continue
+            batch = ledger.state[:, layout[:, None], cols[None, :]]
+            self._included_buf[row : row + k, cols] = aggregate.finalize(batch)
+            self._excluded_buf[row : row + k, cols] = aggregate.finalize(
+                aggregate.subtract(overall_cols[:, None, :], batch)
+            )
+            row += k
+        self._labels = tuple(state.labels)
+        self._overall = self._overall_buf[:n]
+        self._included = self._included_buf[:, :n]
+        self._excluded = self._excluded_buf[:, :n]
+        self._supports = np.concatenate(supports_parts) if supports_parts else self._supports
+
     def __repr__(self) -> str:
         return (
             f"ExplanationCube(epsilon={self.n_explanations}, n={self.n_times}, "
             f"explain_by={list(self._explain_by)})"
         )
+
+
+def merge_cubes(base: ExplanationCube, other: ExplanationCube) -> ExplanationCube:
+    """Merge two appendable cubes built over the same query into a new one.
+
+    ``other``'s time labels must each already exist in ``base`` or sort
+    strictly after its last label (the streaming append contract); both
+    cubes must share measure, aggregate, explain-by set, ``max_order``,
+    ``deduplicate`` and schema.  Neither input is mutated.
+
+    The merged states combine with :meth:`AggregateFunction.merge`, so the
+    result is bit-identical to a one-shot build over the concatenated
+    relations whenever no ``(group, timestamp)`` bucket holds rows on both
+    sides (e.g. partitioned-by-time shards); buckets fed by both sides are
+    numerically equal up to float-addition reassociation.  For the exact
+    row-order-preserving path, use :meth:`ExplanationCube.append` with the
+    delta *relation* instead.
+    """
+    for cube in (base, other):
+        if not cube.appendable:
+            raise ExplanationError(
+                "merge_cubes requires appendable cubes (built with "
+                "appendable=True, or cache-loaded with their delta ledger)"
+            )
+    left, right = base.append_state, other.append_state
+    assert left is not None and right is not None
+    mismatched = [
+        field
+        for field, a, b in (
+            ("measure", left.measure, right.measure),
+            ("aggregate", left.aggregate.name, right.aggregate.name),
+            ("explain_by", left.explain_by, right.explain_by),
+            ("time_attr", left.time_attr, right.time_attr),
+            ("max_order", left.max_order, right.max_order),
+            ("deduplicate", left.deduplicate, right.deduplicate),
+        )
+        if a != b
+    ]
+    if mismatched:
+        raise ExplanationError(
+            f"cannot merge cubes built with different {mismatched}"
+        )
+    merged = left.clone()
+    merged.absorb(right)
+    return ExplanationCube.from_append_state(merged)
 
 
 def _materialize_series(
@@ -322,15 +545,17 @@ def _materialize_series(
     aggregate: AggregateFunction,
     overall_state: np.ndarray,
     columnar: bool = True,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Finalized included/excluded series for every candidate.
+) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
+    """Finalized included/excluded series plus the per-subset states.
 
     States are accumulated once per attribute *subset* (bucket id =
     ``group_id * n_times + time_position``), so the relation is scanned
     ``O(|subsets|)`` times, not ``O(epsilon)``.  In columnar mode every
     subset's candidates are then gathered with one fancy-index per subset
     and finalized as a ``(n_components, k, n_times)`` batch; the legacy
-    mode finalizes one candidate at a time in a Python loop.
+    mode finalizes one candidate at a time in a Python loop.  The raw
+    states are returned as well so an appendable cube can retain them as
+    its delta-maintenance ledger.
     """
     per_subset_states: list[np.ndarray] = []
     for group_ids in candidates.row_groups:
@@ -369,4 +594,4 @@ def _materialize_series(
             excluded[position] = aggregate.finalize(
                 aggregate.subtract(overall_state, state)
             )
-    return included, excluded
+    return included, excluded, per_subset_states

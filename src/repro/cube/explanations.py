@@ -43,6 +43,16 @@ class CandidateSet:
         Stored per *attribute subset* (see ``subset_of``) to stay compact.
     supports:
         Total number of rows selected by each candidate.
+    group_counts / group_values / redundant / parent_groups:
+        Per-subset bookkeeping over *all* value groups, including the
+        containment-redundant ones the candidate list drops:  row counts,
+        the group's value per subset attribute, the redundancy mask, and —
+        for subsets of order > 1 — the group id each group maps to in the
+        parent subset obtained by dropping attribute ``d``.  This is the
+        ledger :meth:`repro.cube.datacube.ExplanationCube.append` scatters
+        new rows into; redundancy can only be *destroyed* by appends
+        (supports grow monotonically, a child never outgrows its parent),
+        so groups are append-only.
     """
 
     explanations: tuple[Conjunction, ...]
@@ -51,6 +61,10 @@ class CandidateSet:
     subset_index: tuple[int, ...]
     subsets: tuple[tuple[str, ...], ...]
     local_ids: tuple[int, ...]
+    group_counts: tuple[np.ndarray, ...] = ()
+    group_values: tuple[tuple[np.ndarray, ...], ...] = ()
+    redundant: tuple[np.ndarray, ...] = ()
+    parent_groups: tuple[tuple[np.ndarray, ...], ...] = ()
 
     def __len__(self) -> int:
         return len(self.explanations)
@@ -97,6 +111,10 @@ def enumerate_candidates(
     subsets: list[tuple[str, ...]] = []
     subset_index: list[int] = []
     local_ids: list[int] = []
+    group_counts: list[np.ndarray] = []
+    group_values: list[tuple[np.ndarray, ...]] = []
+    redundant_masks: list[np.ndarray] = []
+    parent_group_maps: list[tuple[np.ndarray, ...]] = []
     # Per processed subset: (row -> group id, per-group support).  Kept for
     # every lower-order subset (including groups later dropped as
     # redundant) so that higher-order conjunctions can still detect
@@ -114,23 +132,29 @@ def enumerate_candidates(
             # the parent then selects exactly the same rows.  This is the
             # columnar form of the seed's per-conjunction dict lookup.
             redundant = np.zeros(n_groups, dtype=bool)
-            if deduplicate and order > 1:
+            parents: list[np.ndarray] = []
+            if order > 1:
                 for drop in range(order):
                     parent = subset[:drop] + subset[drop + 1 :]
-                    parent_groups, parent_counts = group_info[parent]
-                    redundant |= (
-                        parent_counts[parent_groups[representatives]] == counts
-                    )
+                    parent_rows, parent_counts = group_info[parent]
+                    parent_of_group = parent_rows[representatives]
+                    parents.append(parent_of_group.astype(np.intp))
+                    if deduplicate:
+                        redundant |= parent_counts[parent_of_group] == counts
             group_info[subset] = (group_ids, counts)
 
             subset_pos = len(subsets)
             subsets.append(subset)
             row_groups.append(group_ids)
+            group_counts.append(counts.astype(np.int64))
+            redundant_masks.append(redundant)
+            parent_group_maps.append(tuple(parents))
             columns = relation.columns(subset)
-            group_values = [columns[name][representatives] for name in subset]
+            values_by_attr = tuple(columns[name][representatives] for name in subset)
+            group_values.append(values_by_attr)
             for local_id in np.flatnonzero(~redundant):
                 conjunction = Conjunction.from_items(
-                    (name, _python_value(group_values[k][local_id]))
+                    (name, _python_value(values_by_attr[k][local_id]))
                     for k, name in enumerate(subset)
                 )
                 explanations.append(conjunction)
@@ -145,6 +169,10 @@ def enumerate_candidates(
         subset_index=tuple(subset_index),
         subsets=tuple(subsets),
         local_ids=tuple(local_ids),
+        group_counts=tuple(group_counts),
+        group_values=tuple(group_values),
+        redundant=tuple(redundant_masks),
+        parent_groups=tuple(parent_group_maps),
     )
 
 

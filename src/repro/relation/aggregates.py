@@ -49,6 +49,26 @@ class AggregateFunction(abc.ABC):
         result has shape ``(n_components, n_groups)``.
         """
 
+    def scatter_into(
+        self,
+        state: np.ndarray,
+        values: np.ndarray,
+        index: np.ndarray | tuple[np.ndarray, ...],
+    ) -> None:
+        """Scatter per-row contributions into an *existing* state, in place.
+
+        ``state`` has shape ``(n_components, ...buckets)`` and ``index``
+        addresses the bucket axes (a bare array, or a tuple of index arrays
+        for multi-axis buckets).  Rows are applied strictly in order with
+        unbuffered ``np.add.at``-style updates — exactly the sequence
+        :meth:`accumulate` would produce for the same rows — which is what
+        lets :meth:`repro.cube.datacube.ExplanationCube.append` stay
+        bit-identical to a one-shot build over the concatenated relation.
+        """
+        raise AggregateError(  # pragma: no cover - all registry aggregates override
+            f"aggregate {self.name!r} does not support in-place scatter"
+        )
+
     def merge(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         """Combine two state arrays (default: additive)."""
         return left + right
@@ -87,12 +107,19 @@ class _AdditiveAggregate(AggregateFunction):
     def accumulate(
         self, values: np.ndarray, group_ids: np.ndarray, n_groups: int
     ) -> np.ndarray:
-        values = np.asarray(values, dtype=np.float64)
-        group_ids = np.asarray(group_ids, dtype=np.intp)
         state = self.empty_state(n_groups)
-        for row, contribution in enumerate(self._components(values)):
-            np.add.at(state[row], group_ids, contribution)
+        self.scatter_into(state, values, np.asarray(group_ids, dtype=np.intp))
         return state
+
+    def scatter_into(
+        self,
+        state: np.ndarray,
+        values: np.ndarray,
+        index: np.ndarray | tuple[np.ndarray, ...],
+    ) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        for row, contribution in enumerate(self._components(values)):
+            np.add.at(state[row], index, contribution)
 
 
 class Sum(_AdditiveAggregate):
@@ -173,11 +200,18 @@ class _ExtremeAggregate(AggregateFunction):
     def accumulate(
         self, values: np.ndarray, group_ids: np.ndarray, n_groups: int
     ) -> np.ndarray:
-        values = np.asarray(values, dtype=np.float64)
-        group_ids = np.asarray(group_ids, dtype=np.intp)
         state = self.empty_state(n_groups)
-        self._ufunc.at(state[0], group_ids, values)
+        self.scatter_into(state, values, np.asarray(group_ids, dtype=np.intp))
         return state
+
+    def scatter_into(
+        self,
+        state: np.ndarray,
+        values: np.ndarray,
+        index: np.ndarray | tuple[np.ndarray, ...],
+    ) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        self._ufunc.at(state[0], index, values)
 
     def merge(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         return self._ufunc(left, right)

@@ -18,6 +18,24 @@ from repro.relation.schema import Schema
 from repro.relation.table import Relation
 
 
+def coerce_csv_columns(raw: dict[str, list[str]], schema: Schema) -> dict[str, np.ndarray]:
+    """Apply the CSV dtype policy to parsed string cells.
+
+    Measure columns become float64; dimension and time columns stay
+    strings (object dtype).  The one place this policy lives — both
+    :func:`read_csv` and the CLI's ``--follow`` tail parser go through
+    it, so a followed file can never coerce differently from a one-shot
+    load of the same bytes.
+    """
+    columns: dict[str, np.ndarray] = {}
+    for name in schema.names:
+        if schema.attribute(name).is_measure:
+            columns[name] = np.asarray([float(v) for v in raw[name]], dtype=np.float64)
+        else:
+            columns[name] = np.asarray(raw[name], dtype=object)
+    return columns
+
+
 def read_csv(
     path: str | Path,
     dimensions: Sequence[str] = (),
@@ -42,13 +60,7 @@ def read_csv(
         for row in reader:
             for name in schema.names:
                 raw[name].append(row[name])
-    columns: dict[str, np.ndarray] = {}
-    for name in schema.names:
-        if name in measures:
-            columns[name] = np.asarray([float(v) for v in raw[name]], dtype=np.float64)
-        else:
-            columns[name] = np.asarray(raw[name], dtype=object)
-    return Relation(columns, schema)
+    return Relation(coerce_csv_columns(raw, schema), schema)
 
 
 def write_csv(relation: Relation, path: str | Path) -> None:

@@ -117,6 +117,11 @@ class SegmentationCosts:
 
         self._scorer = scorer
         self._solver = solver
+        # The candidate tuple at construction time.  Appendable cubes
+        # mutate in place but *replace* their explanations tuple when the
+        # candidate set grows, so this captured reference is what
+        # :meth:`extend` compares against.
+        self._explanations = scorer.cube.explanations
         self._m = m
         self._variant = variant
         self._positions = cut_positions
@@ -207,6 +212,177 @@ class SegmentationCosts:
     def unit_result(self, index: int) -> TopMResult:
         """Top-m result of the ``index``-th full-resolution unit object."""
         return self._unit_results[index]
+
+    # ------------------------------------------------------------------
+    # Incremental growth (streaming appends; paper section 8)
+    # ------------------------------------------------------------------
+    def extend(
+        self,
+        scorer: SegmentScorer,
+        solver: TopMSolver,
+        cut_positions: Sequence[int] | np.ndarray | None = None,
+        first_changed_position: int | None = None,
+    ) -> "SegmentationCosts":
+        """A new :class:`SegmentationCosts` over a *grown* series, reusing
+        this instance's work for the unchanged prefix.
+
+        ``scorer`` must score the same candidate set over a series at
+        least as long as this instance's; ``first_changed_position`` is
+        the smallest time position whose values may differ from the
+        series this instance was built on
+        (:attr:`repro.cube.delta.AppendInfo.first_changed_position`,
+        minus the smoothing half-window when the scorer smooths).  It
+        defaults to the old length — a pure extension.
+
+        Two classes of work are reused instead of recomputed:
+
+        * **unit objects** strictly before the changed region keep their
+          gamma/tau rows and their cascading-analysts results (each unit
+          is solved independently, so the reuse is bit-exact);
+        * **segment costs** whose right endpoint lies before the changed
+          region are carried over from this instance's cost matrix and
+          result cache (translated through original time positions, so
+          the new cut grid may differ from the old one).
+
+        Everything else — new units, and every segment touching the
+        appended region — is computed fresh, so per-update cost is
+        proportional to the appended suffix, not the total length.
+        ``allpair`` variants reuse the unit structures but refill their
+        pair-distance prefix sums in full (they are inherently quadratic).
+        """
+        new_cube = scorer.cube
+        old_n_times = self._n_units + 1
+        if new_cube.n_times < old_n_times:
+            raise SegmentationError(
+                "extend() requires a series at least as long as the original"
+            )
+        same_candidates = new_cube.explanations is self._explanations or (
+            new_cube.n_explanations == len(self._explanations)
+            and new_cube.explanations == self._explanations
+        )
+        if not same_candidates:
+            raise SegmentationError(
+                "extend() requires an unchanged candidate set; build fresh "
+                "SegmentationCosts when candidates were added or re-filtered"
+            )
+        if first_changed_position is None:
+            first_changed_position = old_n_times
+        first_changed_position = max(0, min(first_changed_position, old_n_times))
+        # Unit u spans positions [u, u+1]; it is reusable iff both lie
+        # strictly before the changed region.
+        keep_units = int(np.clip(first_changed_position - 1, 0, self._n_units))
+
+        grown = SegmentationCosts.__new__(SegmentationCosts)
+        grown._scorer = scorer
+        grown._solver = solver
+        grown._explanations = new_cube.explanations
+        grown._m = self._m
+        grown._variant = self._variant
+        grown._max_length = None
+        grown._only_segments = None
+        grown._weights = self._weights
+        n_times = new_cube.n_times
+        if cut_positions is None:
+            cut_positions = np.arange(n_times, dtype=np.intp)
+        else:
+            cut_positions = np.asarray(cut_positions, dtype=np.intp)
+        if cut_positions.ndim != 1 or cut_positions.shape[0] < 2:
+            raise SegmentationError("cut_positions must be a 1-D array of >= 2 points")
+        if np.any(np.diff(cut_positions) <= 0):
+            raise SegmentationError("cut_positions must be strictly increasing")
+        if cut_positions[0] < 0 or cut_positions[-1] >= n_times:
+            raise SegmentationError(
+                f"cut_positions out of range for a series of length {n_times}"
+            )
+        grown._positions = cut_positions
+        grown._n_points = cut_positions.shape[0]
+        grown._n_units = n_times - 1
+        grown.timings = {"precompute": 0.0, "cascading": 0.0, "segmentation": 0.0}
+
+        started = time.perf_counter()
+        grown._extend_units(self, keep_units)
+        grown.timings["precompute"] += time.perf_counter() - started
+
+        grown._results = {}
+        grown._cost = np.full(
+            (grown._n_points, grown._n_points), np.inf, dtype=np.float64
+        )
+        np.fill_diagonal(grown._cost, 0.0)
+        if self._variant in ALLPAIR_VARIANTS:
+            grown._fill_costs_allpair()
+        else:
+            carried = self._carry_costs(grown, first_changed_position)
+            grown._fill_costs_centroid(skip=carried)
+        return grown
+
+    def _extend_units(self, previous: "SegmentationCosts", keep_units: int) -> None:
+        """Unit structures for a grown series, reusing a valid prefix."""
+        starts = np.arange(keep_units, self._n_units, dtype=np.intp)
+        stops = starts + 1
+        if starts.size:
+            gamma_new, tau_new = self._scorer.gamma_tau_many(starts, stops)
+            change_new = self._scorer.overall_changes(starts, stops)
+            ca_started = time.perf_counter()
+            solved = self._solver.solve_batch(gamma_new.T)
+            self.timings["cascading"] += time.perf_counter() - ca_started
+            new_results = [
+                result.with_context(
+                    taus=tuple(int(tau_new[index, x]) for index in result.indices),
+                    source_segment=(int(starts[x]), int(stops[x])),
+                )
+                for x, result in enumerate(solved)
+            ]
+        else:
+            gamma_new = np.empty((self._scorer.cube.n_explanations, 0))
+            tau_new = np.empty((self._scorer.cube.n_explanations, 0), dtype=np.int8)
+            change_new = np.empty(0)
+            new_results = []
+        self._gamma_unit = np.concatenate(
+            [previous._gamma_unit[:, :keep_units], gamma_new], axis=1
+        )
+        self._tau_unit = np.concatenate(
+            [previous._tau_unit[:, :keep_units], tau_new], axis=1
+        )
+        self._overall_change_unit = np.concatenate(
+            [previous._overall_change_unit[:keep_units], change_new]
+        )
+        self._unit_results = previous._unit_results[:keep_units] + new_results
+        self._unit_idx, self._unit_gamma, self._unit_tau, self._unit_valid = pad_results(
+            self._unit_results, self._m
+        )
+        self._ideal_unit = self._unit_gamma @ self._weights
+
+    def _carry_costs(
+        self, grown: "SegmentationCosts", first_changed_position: int
+    ) -> set[tuple[int, int]]:
+        """Copy still-valid segment costs into ``grown``'s matrix.
+
+        A segment is carried when its right endpoint lies strictly before
+        the changed region; returns the carried reduced pairs so the fill
+        skips them.  Translation goes through *original* positions, so the
+        old and new cut grids may differ.
+        """
+        new_index_of = {int(p): i for i, p in enumerate(grown._positions)}
+        carried: set[tuple[int, int]] = set()
+        old_positions = self._positions
+        finite_i, finite_j = np.nonzero(np.isfinite(self._cost))
+        for i, j in zip(finite_i.tolist(), finite_j.tolist()):
+            if j <= i:
+                continue
+            orig_i = int(old_positions[i])
+            orig_j = int(old_positions[j])
+            if orig_j >= first_changed_position:
+                continue
+            new_i = new_index_of.get(orig_i)
+            new_j = new_index_of.get(orig_j)
+            if new_i is None or new_j is None:
+                continue
+            grown._cost[new_i, new_j] = self._cost[i, j]
+            carried.add((new_i, new_j))
+            result = self._results.get((i, j))
+            if result is not None:
+                grown._results[(new_i, new_j)] = result
+        return carried
 
     def segment_result(self, start: int, stop: int) -> TopMResult:
         """Top-m result of a reduced segment (lazily computed if needed)."""
@@ -301,8 +477,10 @@ class SegmentationCosts:
     # ------------------------------------------------------------------
     # Centroid-structured variants (tse, dist1, dist2, S-variants)
     # ------------------------------------------------------------------
-    def _fill_costs_centroid(self) -> None:
+    def _fill_costs_centroid(self, skip: set[tuple[int, int]] | None = None) -> None:
         pairs = self._segment_pairs()
+        if skip:
+            pairs = [pair for pair in pairs if pair not in skip]
         # Single-object segments cost 0 by definition: the object is its
         # own centroid.
         for i in range(self._n_points - 1):

@@ -1,0 +1,126 @@
+"""Golden regression tests for the example case-study configurations.
+
+Small frozen top-k outputs for the covid-daily and sp500 example configs
+live under ``tests/golden/``; these tests diff the current pipeline output
+against them, so a refactor that silently changes *which* explanations are
+reported (or their segmentation) fails loudly.
+
+Structure — segment labels, explanation conjunctions, change effects, K,
+candidate counts — is compared exactly.  Scores are compared to a 1e-9
+relative tolerance: they are pure float64 pipelines, but small BLAS-backed
+reductions may reassociate across numpy builds, and the point of these
+fixtures is catching changed *explanations*, not changed math libraries.
+
+Regenerate (after an intentional behavior change) with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import ExplainConfig
+from repro.core.session import ExplainSession
+from repro.datasets.registry import load_dataset
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: name -> (dataset, config factory, window) — the example configurations.
+CASES = {
+    "covid_daily": (
+        "covid-daily",
+        lambda dataset: ExplainConfig.optimized(
+            smoothing_window=dataset.smoothing_window
+        ),
+        (None, None),
+    ),
+    "sp500": (
+        "sp500",
+        lambda dataset: ExplainConfig.optimized(),
+        (None, None),
+    ),
+    # A windowed slice of the covid spring wave: exercises the O(window)
+    # session path the examples drill down through.
+    "covid_daily_spring": (
+        "covid-daily",
+        lambda dataset: ExplainConfig.optimized(
+            smoothing_window=dataset.smoothing_window
+        ),
+        ("2020-03-01", "2020-06-01"),
+    ),
+}
+
+
+def _compute(name: str) -> dict:
+    dataset_name, config_for, window = CASES[name]
+    dataset = load_dataset(dataset_name)
+    session = ExplainSession(
+        dataset.relation,
+        dataset.measure,
+        dataset.explain_by,
+        aggregate=dataset.aggregate,
+        config=config_for(dataset),
+    )
+    result = session.explain(*window)
+    return {
+        "dataset": dataset_name,
+        "window": list(window),
+        "k": result.k,
+        "k_was_auto": result.k_was_auto,
+        "epsilon": result.epsilon,
+        "filtered_epsilon": result.filtered_epsilon,
+        "segments": [
+            {
+                "start": str(segment.start_label),
+                "stop": str(segment.stop_label),
+                "explanations": [
+                    {
+                        "explanation": repr(scored.explanation),
+                        "gamma": scored.gamma,
+                        "tau": scored.tau,
+                    }
+                    for scored in segment.explanations
+                ],
+            }
+            for segment in result.segments
+        ],
+    }
+
+
+def _assert_matches(actual, expected, path="$"):
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict) and set(actual) == set(expected), path
+        for key in expected:
+            _assert_matches(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(actual) == len(expected), (
+            f"{path}: {len(actual)} != {len(expected)} entries"
+        )
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            _assert_matches(a, e, f"{path}[{index}]")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=1e-9, abs=1e-12), (
+            f"{path}: {actual!r} != {expected!r}"
+        )
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_output_is_frozen(name):
+    payload = _compute(name)
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        pytest.skip(f"regenerated {path}")
+    assert path.is_file(), (
+        f"missing golden fixture {path}; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    _assert_matches(payload, expected)

@@ -17,7 +17,8 @@ from repro.ca.bruteforce import is_non_overlapping
 from repro.ca.cascade import CascadingAnalysts, DrillDownTree
 from repro.core.config import ExplainConfig
 from repro.core.pipeline import ExplainPipeline
-from repro.cube.datacube import ExplanationCube
+from repro.core.smoothing import smooth_cube
+from repro.cube.datacube import ExplanationCube, merge_cubes
 from repro.diff.scorer import SegmentScorer
 from repro.segmentation.bruteforce import exhaustive_best_segmentation
 from repro.segmentation.distance import explanation_distance
@@ -153,6 +154,129 @@ def test_pipeline_segments_tile_the_series(data):
         assert segment.variance >= -1e-12
     curve = list(result.k_variance_curve.values())
     assert all(v >= -1e-9 for v in curve)
+
+
+# ----------------------------------------------------------------------
+# Append equivalence: build-then-append is byte-identical to one-shot
+# ----------------------------------------------------------------------
+@st.composite
+def streaming_relations(draw):
+    """Random relations with ragged per-timestamp rows and late-only values.
+
+    Unlike :func:`small_relations`, rows are *not* a dense grid: each
+    timestamp draws its own category multiset, later timestamps may
+    introduce brand-new categories (so appends can grow the candidate
+    set), and a random split point divides the rows into base + delta —
+    possibly mid-timestamp, so deltas can revisit the base's last labels.
+    """
+    n_times = draw(st.integers(3, 8))
+    n_cats = draw(st.integers(2, 4))
+    late_cat = draw(st.booleans())
+    two_attrs = draw(st.booleans())
+    rows = {"t": [], "a": [], "m": []}
+    if two_attrs:
+        rows["b"] = []
+    for t in range(n_times):
+        cats = list(range(n_cats)) + draw(
+            st.lists(st.integers(0, n_cats - 1), max_size=2)
+        )
+        if late_cat and t >= n_times // 2:
+            cats.append(n_cats + 7)  # appears only late in the stream
+        for cat in cats:
+            rows["t"].append(f"t{t:02d}")
+            rows["a"].append(f"a{cat}")
+            if two_attrs:
+                rows["b"].append(f"b{draw(st.integers(0, 1))}")
+            rows["m"].append(draw(st.floats(-50.0, 50.0, allow_nan=False)))
+    dimensions = ["a", "b"] if two_attrs else ["a"]
+    schema = Schema.build(dimensions=dimensions, measures=["m"], time="t")
+    relation = Relation(rows, schema)
+    split = draw(st.integers(0, relation.n_rows))
+    return relation, dimensions, split
+
+
+def _split_rows(relation, split):
+    base = relation.take(np.arange(split))
+    delta = relation.take(np.arange(split, relation.n_rows))
+    return base, delta
+
+
+def _assert_cubes_byte_identical(left, right):
+    assert left.labels == right.labels
+    assert left.explanations == right.explanations
+    assert left.supports.tobytes() == right.supports.tobytes()
+    assert left.overall_values.tobytes() == right.overall_values.tobytes()
+    assert left.included_values.tobytes() == right.included_values.tobytes()
+    assert left.excluded_values.tobytes() == right.excluded_values.tobytes()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=streaming_relations(),
+    aggregate=st.sampled_from(["sum", "count", "avg", "var"]),
+    smoothing=st.sampled_from([None, 3]),
+)
+def test_append_is_byte_identical_to_one_shot_build(data, aggregate, smoothing):
+    """build(base) + append(delta) == build(base + delta), bit for bit.
+
+    Covers SUM/COUNT/AVG/VAR, smoothing on/off, empty deltas (split at the
+    end), whole-stream deltas (split at 0 — the base still has to span two
+    timestamps), mid-timestamp splits, and candidate growth.
+    """
+    relation, dimensions, split = data
+    base, delta = _split_rows(relation, split)
+    if len(set(base.column("t"))) < 2:
+        return  # a cube needs at least one base timestamp pair
+    appended = ExplanationCube(base, dimensions, "m", aggregate=aggregate, max_order=2)
+    appended.append(delta)
+    one_shot = ExplanationCube(
+        relation, dimensions, "m", aggregate=aggregate, max_order=2
+    )
+    _assert_cubes_byte_identical(appended, one_shot)
+    if smoothing is not None and appended.n_times > 1:
+        _assert_cubes_byte_identical(
+            smooth_cube(appended, smoothing), smooth_cube(one_shot, smoothing)
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=streaming_relations(), aggregate=st.sampled_from(["sum", "var"]))
+def test_chunked_appends_match_single_append(data, aggregate):
+    """Appending row-by-row equals appending everything at once."""
+    relation, dimensions, split = data
+    base, delta = _split_rows(relation, split)
+    if len(set(base.column("t"))) < 2 or delta.n_rows == 0:
+        return
+    chunked = ExplanationCube(base, dimensions, "m", aggregate=aggregate, max_order=2)
+    for row in range(delta.n_rows):
+        chunked.append(delta.take(np.asarray([row])))
+    one_shot = ExplanationCube(
+        relation, dimensions, "m", aggregate=aggregate, max_order=2
+    )
+    _assert_cubes_byte_identical(chunked, one_shot)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=streaming_relations(), aggregate=st.sampled_from(["sum", "avg"]))
+def test_merge_cubes_matches_one_shot_on_time_shards(data, aggregate):
+    """Merging cubes of time-disjoint shards equals the one-shot build."""
+    relation, dimensions, _ = data
+    positions, labels = relation.time_positions(None)
+    if len(labels) < 4:
+        return
+    cut = len(labels) // 2
+    left = relation.take(positions < cut)
+    right = relation.take(positions >= cut)
+    if len(set(right.column("t"))) < 1:
+        return
+    merged = merge_cubes(
+        ExplanationCube(left, dimensions, "m", aggregate=aggregate, max_order=2),
+        ExplanationCube(right, dimensions, "m", aggregate=aggregate, max_order=2),
+    )
+    one_shot = ExplanationCube(
+        relation, dimensions, "m", aggregate=aggregate, max_order=2
+    )
+    _assert_cubes_byte_identical(merged, one_shot)
 
 
 @settings(max_examples=10, deadline=None)

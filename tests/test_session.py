@@ -383,7 +383,7 @@ class TestFacadeDelegation:
             result_fingerprint(session.explain("t006", "t018"))
         )
 
-    def test_streaming_session_tracks_snapshot(self):
+    def test_streaming_session_survives_updates(self):
         initial = regime_relation(n=16, switch=8)
         explainer = StreamingExplainer(
             initial, "sales", ["cat"],
@@ -398,7 +398,14 @@ class TestFacadeDelegation:
             [label >= "t016" for label in extra.column("t")]
         )
         explainer.update(extra.take(mask))
-        assert explainer.session() is not first  # new snapshot, new session
+        # The session is long-lived now: updates append into its cube in
+        # place instead of opening a new session per snapshot.
+        assert explainer.session() is first
+        assert first.relation is explainer.relation
+        assert first.cube.n_times == 20
+        # refresh() is the executable spec: it rebuilds from scratch.
+        explainer.refresh()
+        assert explainer.session() is not first
 
 
 class TestWindowRelation:

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.config import ExplainConfig
 from repro.core.streaming import StreamingExplainer
+from repro.exceptions import QueryError
 from repro.relation.schema import Schema
 from repro.relation.table import Relation
 from tests.conftest import regime_relation
@@ -69,6 +70,63 @@ def test_update_detects_new_regime(explainer):
     assert any(boundary >= 23 for boundary in result.cuts)
     top_last = result.segments[-1].explanations[0].explanation
     assert repr(top_last) == "cat=c"
+
+
+def test_out_of_order_timestamps_within_delta(explainer):
+    """Rows inside a delta may arrive in any order; result matches sorted."""
+    explainer.refresh()
+    ts = [27, 24, 26, 25, 24]  # shuffled, with a duplicate day
+    delta = rows_for(ts, lambda t, cat: 70.0 if cat == "b" else 10.0)
+    shuffled = explainer.update(delta)
+
+    ordered = StreamingExplainer(
+        regime_relation(),
+        measure="sales",
+        explain_by=["cat"],
+        config=ExplainConfig(use_filter=False, k=2),
+    )
+    ordered.refresh()
+    ordered_delta = rows_for(sorted(ts), lambda t, cat: 70.0 if cat == "b" else 10.0)
+    result = ordered.update(ordered_delta)
+    assert len(shuffled.series) == len(result.series) == 28
+    # Same rows -> same aggregated series and segmentation.
+    np.testing.assert_array_equal(shuffled.series.values, result.series.values)
+    assert shuffled.boundaries == result.boundaries
+
+
+def test_delta_predating_the_stream_raises(explainer):
+    """A delta whose (new) timestamps all pre-date the cube is rejected."""
+    explainer.refresh()
+    before = explainer.relation
+    stale = rows_for([-3, -2], lambda t, cat: 5.0)  # t-03 sorts before t000
+    with pytest.raises(QueryError, match="precedes"):
+        explainer.update(stale)
+    # The rejected delta must not have corrupted the stream: relation and
+    # results are unchanged and further updates work.
+    assert explainer.relation is before
+    good = rows_for([24], lambda t, cat: 10.0)
+    assert len(explainer.update(good).series) == 25
+
+
+def test_update_can_change_the_elbow_selected_k():
+    """An update that starts a third regime moves the elbow's K."""
+    explainer = StreamingExplainer(
+        regime_relation(),
+        measure="sales",
+        explain_by=["cat"],
+        config=ExplainConfig(use_filter=False),  # K chosen by the elbow
+    )
+    first = explainer.refresh()
+    assert first.k_was_auto
+    # Category c explodes: a regime the old 2-segment split cannot absorb.
+    new = rows_for(
+        range(24, 40),
+        lambda t, cat: 7.0 + 40.0 * (t - 23) if cat == "c" else (58.0 if cat == "a" else 70.0),
+    )
+    updated = explainer.update(new)
+    assert updated.k_was_auto
+    assert updated.k > first.k
+    assert repr(updated.segments[-1].explanations[0].explanation) == "cat=c"
 
 
 def test_incremental_matches_full_rerun_on_stable_data(explainer):
