@@ -1,0 +1,174 @@
+"""Serving-tier load test: parallel sharded builds + concurrent clients.
+
+The serving tier's claims, measured end to end over real HTTP:
+
+1. the **sharded parallel cold build** produces a cube byte-identical to
+   the one-shot build (asserted on the raw arrays) while spreading the
+   work across worker processes — the wall-clock ratio is reported, with
+   the machine's CPU count for context (a single-core container or a
+   tiny input cannot show a speedup; multi-core CI and paper scale do);
+2. the first ``/explain`` for a dataset pays the cold build once
+   (single-flight: a whole herd of concurrent clients triggers exactly
+   one prepare), after which **warm** requests are served from the
+   session LRU orders of magnitude faster — cold latency vs warm
+   p50/p95 and aggregate requests/second are reported;
+3. the served answers carry **byte-identical** top-k explanations
+   (``float.hex`` comparison over HTTP JSON) to a direct in-process
+   :class:`ExplainSession` over the same data and configuration.
+"""
+
+import json
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.config import ExplainConfig
+from repro.core.session import ExplainSession
+from repro.cube.datacube import ExplanationCube
+from repro.datasets.synthetic import generate_synthetic
+from repro.serve.http import ServeApp
+from repro.serve.registry import DatasetSpec, SessionRegistry
+from repro.serve.scheduler import QueryScheduler
+from repro.serve.sharding import ShardedBuilder
+from support import emit, is_paper_scale
+
+
+def _get_json(url: str):
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _served_top_k(payload: dict):
+    """Byte-exact rendering of a served /explain response's top-k."""
+    return tuple(
+        (
+            segment["start_label"],
+            segment["stop_label"],
+            tuple(
+                (scored["explanation"], scored["gamma_hex"], scored["tau"])
+                for scored in segment["explanations"]
+            ),
+        )
+        for segment in payload["segments"]
+    )
+
+
+def _session_top_k(result):
+    return tuple(
+        (
+            segment.start_label,
+            segment.stop_label,
+            tuple(
+                (repr(s.explanation), s.gamma.hex(), s.tau)
+                for s in segment.explanations
+            ),
+        )
+        for segment in result.segments
+    )
+
+
+def bench_serve_throughput(benchmark):
+    n_points = 480 if is_paper_scale() else 240
+    n_categories = 1024 if is_paper_scale() else 256
+    n_clients = 16 if is_paper_scale() else 8
+    n_requests = 128 if is_paper_scale() else 64
+    synthetic = generate_synthetic(
+        seed=23, snr_db=40.0, n_points=n_points, n_categories=n_categories
+    )
+    dataset = synthetic.dataset
+    config = ExplainConfig.optimized(k=3)
+
+    # --- 1. sharded parallel build: byte-identical, timed ----------------
+    started = time.perf_counter()
+    one_shot = ExplanationCube(
+        dataset.relation, dataset.explain_by, dataset.measure
+    )
+    one_shot_seconds = time.perf_counter() - started
+
+    builder = ShardedBuilder(n_shards=4, max_workers=4, min_rows_per_shard=1)
+    started = time.perf_counter()
+    sharded = builder.build(
+        dataset.relation, dataset.explain_by, dataset.measure
+    )
+    sharded_seconds = time.perf_counter() - started
+    assert builder.last_report.n_shards == 4
+    assert sharded.labels == one_shot.labels
+    assert sharded.explanations == one_shot.explanations
+    assert sharded.included_values.tobytes() == one_shot.included_values.tobytes()
+    assert sharded.excluded_values.tobytes() == one_shot.excluded_values.tobytes()
+    build_speedup = one_shot_seconds / sharded_seconds
+
+    # --- 2. concurrent clients against a live server ----------------------
+    spec = DatasetSpec.from_dataset(dataset, config=config)
+    registry = SessionRegistry([spec])
+    app = ServeApp(
+        registry, QueryScheduler(registry, max_workers=n_clients), port=0
+    ).start()
+    try:
+        url = f"{app.url}/explain?dataset={dataset.name}"
+
+        started = time.perf_counter()
+        cold_payload = _get_json(url)
+        cold_seconds = time.perf_counter() - started
+
+        latencies: list[float] = []
+
+        def one_request(_):
+            request_started = time.perf_counter()
+            payload = _get_json(url)
+            latencies.append(time.perf_counter() - request_started)
+            return payload
+
+        wall_started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=n_clients) as clients:
+            payloads = list(clients.map(one_request, range(n_requests)))
+        wall_seconds = time.perf_counter() - wall_started
+        throughput = n_requests / wall_seconds
+        p50, p95 = (float(np.percentile(latencies, q)) for q in (50, 95))
+
+        # Every concurrent answer is identical, and the cold build ran once.
+        reference = _served_top_k(cold_payload)
+        assert all(_served_top_k(p) == reference for p in payloads)
+        stats = _get_json(f"{app.url}/stats")
+        assert stats["registry"]["misses"] == 1
+
+        warm_result = benchmark.pedantic(
+            lambda: _get_json(url), rounds=5, iterations=1
+        )
+        assert _served_top_k(warm_result) == reference
+    finally:
+        app.shutdown()
+
+    # --- 3. parity with a direct in-process session -----------------------
+    direct = ExplainSession(
+        dataset.relation,
+        dataset.measure,
+        dataset.explain_by,
+        config=config,
+    ).explain()
+    assert reference == _session_top_k(direct)
+
+    import os
+
+    cores = os.cpu_count() or 1
+    lines = [
+        f"rows={dataset.relation.n_rows} epsilon={one_shot.n_explanations} "
+        f"n={n_points} clients={n_clients} requests={n_requests} cores={cores}",
+        f"one-shot build:            {one_shot_seconds * 1000:8.1f} ms",
+        f"sharded build (4 shards, 4 procs): {sharded_seconds * 1000:8.1f} ms  "
+        f"({build_speedup:.2f}x on {cores} core(s), byte-identical)",
+        f"cold  /explain (build + query): {cold_seconds * 1000:8.1f} ms",
+        f"warm  /explain p50:             {p50 * 1000:8.1f} ms",
+        f"warm  /explain p95:             {p95 * 1000:8.1f} ms",
+        f"throughput ({n_clients} concurrent clients): {throughput:8.1f} req/s",
+        "served vs direct-session top-k: byte-identical",
+        "cold builds for the client herd: 1 (single-flight)",
+    ]
+    emit("serve_throughput", "\n".join(lines))
+    benchmark.extra_info["build_speedup"] = round(build_speedup, 2)
+    benchmark.extra_info["cores"] = cores
+    benchmark.extra_info["throughput_rps"] = round(throughput, 1)
+    benchmark.extra_info["warm_p50_ms"] = round(p50 * 1000, 2)
+    benchmark.extra_info["warm_p95_ms"] = round(p95 * 1000, 2)

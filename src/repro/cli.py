@@ -22,6 +22,12 @@ Commands
     Prewarmed entries are keyed on the *full* relation and serve every
     ``explain`` over it — including windowed ``--start/--stop`` runs,
     which slice the prepared cube instead of rebuilding one.
+``serve``
+    Start the concurrent JSON-over-HTTP serving tier
+    (:mod:`repro.serve`): many datasets behind a memory-budget + TTL
+    session LRU, single-flight cold builds (optionally sharded across
+    worker processes), and a query thread pool that dedupes identical
+    in-flight requests.
 
 Examples
 --------
@@ -39,6 +45,9 @@ Examples
     python -m repro cache clear --cache-dir ./cube-cache
     python -m repro explain --csv live.csv --time day \\
         --dimensions region --measure revenue --follow --poll-interval 2
+    python -m repro serve --datasets covid-total,sp500 --port 8765 \\
+        --cache-dir ./cube-cache --build-shards 4
+    curl 'http://127.0.0.1:8765/explain?dataset=covid-total'
 """
 
 from __future__ import annotations
@@ -51,6 +60,7 @@ import sys
 import time as _time
 from typing import Sequence
 
+from repro import __version__
 from repro.core.config import ExplainConfig
 from repro.core.pipeline import ExplainPipeline
 from repro.core.session import ExplainSession
@@ -407,6 +417,55 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported here so plain explain/diff runs never pay the serving
+    # tier's import (thread pools, http.server).
+    from repro.serve.http import make_app
+
+    names = None
+    if args.datasets:
+        names = [name.strip() for name in args.datasets.split(",") if name.strip()]
+        known = set(available_datasets())
+        unknown = [name for name in names if name not in known]
+        if unknown:
+            raise ReproError(
+                f"unknown dataset(s) {unknown}; available: {sorted(known)}"
+            )
+    app = make_app(
+        datasets=names,
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        memory_budget_bytes=(
+            int(args.memory_budget_mb * 1024 * 1024)
+            if args.memory_budget_mb is not None
+            else None
+        ),
+        ttl_seconds=args.ttl,
+        query_workers=args.query_workers,
+        build_shards=args.build_shards,
+        build_workers=args.build_workers,
+        max_requests=args.max_requests,
+        verbose=args.verbose,
+    )
+    # The port line is machine-read by smoke tests (--port 0 binds an
+    # ephemeral port), so print and flush it before blocking.
+    print(f"repro serve listening on {app.url}", flush=True)
+    print(
+        f"endpoints: {app.url}/explain?dataset=NAME  /diff  /recommend  "
+        "/datasets  /stats  /healthz",
+        flush=True,
+    )
+    try:
+        app.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        app.shutdown()
+    print(f"served {app.requests_served} request(s)")
+    return 0
+
+
 def _command_datasets(_: argparse.Namespace) -> int:
     for name in available_datasets():
         dataset = load_dataset(name) if name != "liquor" else load_dataset(name, n_products=50)
@@ -419,6 +478,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TSExplain: explain aggregated time series by their evolving contributors",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -497,6 +559,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     datasets = commands.add_parser("datasets", help="list bundled datasets")
     datasets.set_defaults(handler=_command_datasets)
+
+    serve = commands.add_parser(
+        "serve", help="start the concurrent JSON-over-HTTP serving tier"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (0 picks an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--datasets",
+        help="comma-separated bundled dataset names to serve (default: all)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        help="persistent rollup-cache directory shared by all served datasets",
+    )
+    serve.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        help="evict least-recently-used sessions beyond this many MiB",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=float,
+        help="drop sessions idle for more than this many seconds",
+    )
+    serve.add_argument(
+        "--query-workers",
+        type=int,
+        default=8,
+        help="query thread-pool size (default 8)",
+    )
+    serve.add_argument(
+        "--build-shards",
+        type=int,
+        help="split cold cube builds into this many time shards built in "
+        "parallel worker processes (byte-identical to one-shot; default off)",
+    )
+    serve.add_argument(
+        "--build-workers",
+        type=int,
+        help="process-pool size for sharded builds (default: CPUs - 1)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        help="shut down after serving this many requests (smoke tests)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
+    )
+    serve.set_defaults(handler=_command_serve)
     return parser
 
 

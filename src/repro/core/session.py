@@ -28,6 +28,7 @@ unchanged.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Hashable, Sequence
@@ -98,6 +99,13 @@ def window_relation(
 class ExplainSession:
     """A prepared TSExplain query serving unlimited run-tier requests.
 
+    Sessions are **thread-safe**: the prepare tier, the scorer LRU and
+    streaming appends are serialized on an internal reentrant lock, while
+    the solve/segment tiers run lock-free on immutable derived scorers —
+    so the serving tier (:mod:`repro.serve`) shares one session across a
+    whole query thread pool, and concurrent first queries coalesce into a
+    single cube build.
+
     Parameters
     ----------
     relation:
@@ -162,6 +170,15 @@ class ExplainSession:
         self._scorer_cache_size = scorer_cache_size
         self._scorers: OrderedDict[tuple, SegmentScorer] = OrderedDict()
         self._last_result: ExplainResult | None = None
+        # Sessions are shared across threads by the serving tier
+        # (repro.serve): one reentrant lock serializes every mutation of
+        # the prepared cube, the scorer LRU and the timing bookkeeping.
+        # Only the *derivation* steps hold it — the heavy solve/segment
+        # tiers run on immutable scorers outside the lock, so concurrent
+        # queries still overlap.  It also gives per-session single-flight
+        # semantics: N threads racing the first query trigger exactly one
+        # cube build.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -220,21 +237,22 @@ class ExplainSession:
         the expensive tier up front (e.g. before handing the session to an
         interactive loop).  Returns ``self`` for chaining.
         """
-        if self._cube is not None:
-            return self
-        started = time.perf_counter()
-        cube, hit = prepare_cube(
-            self._relation,
-            self._measure,
-            self._explain_by,
-            self._aggregate,
-            self._time_attr,
-            self._config,
-        )
-        self._prepare_seconds = time.perf_counter() - started
-        if hit is not None:
-            self._cache_hit = hit
-        self._cube = cube
+        with self._lock:
+            if self._cube is not None:
+                return self
+            started = time.perf_counter()
+            cube, hit = prepare_cube(
+                self._relation,
+                self._measure,
+                self._explain_by,
+                self._aggregate,
+                self._time_attr,
+                self._config,
+            )
+            self._prepare_seconds = time.perf_counter() - started
+            if hit is not None:
+                self._cache_hit = hit
+            self._cube = cube
         return self
 
     @property
@@ -251,12 +269,14 @@ class ExplainSession:
         with a cheap group-by so inspecting the series never forces the
         expensive prepare tier.
         """
-        if self._cube is not None:
-            if self._series is None:
-                self._series = self._cube.overall_series()
-            return self._series
+        with self._lock:
+            if self._cube is not None:
+                if self._series is None:
+                    self._series = self._cube.overall_series()
+                return self._series
+            relation = self._relation
         return aggregate_over_time(
-            self._relation, self._measure, self._aggregate, self._time_attr
+            relation, self._measure, self._aggregate, self._time_attr
         )
 
     # ------------------------------------------------------------------
@@ -275,9 +295,10 @@ class ExplainSession:
           the support filter are applied *after* slicing, so a window that
           ends strictly before the first changed position is bitwise
           unaffected regardless of those knobs;
-        * every entry whose scorer is bound to the live cube object itself
-          (the bare full-window scorer), since the append mutates it in
-          place;
+        * every entry whose scorer is bound to the live cube object
+          (defensive: cached scorers are detached snapshots of the cube's
+          buffers, so the in-place append can tear none of them — see
+          :meth:`ExplanationCube.detach`);
         * everything, when the append grew the candidate set.
 
         An unprepared session just grows its relation (the first query
@@ -287,6 +308,10 @@ class ExplainSession:
         :class:`~repro.cube.delta.AppendInfo` when an in-place append
         happened, ``None`` otherwise.
         """
+        with self._lock:
+            return self._append_locked(delta)
+
+    def _append_locked(self, delta: Relation) -> AppendInfo | None:
         new_relation = self._relation.concat(delta)
         info: AppendInfo | None = None
         if self._cube is not None and self._cube.appendable:
@@ -314,14 +339,23 @@ class ExplainSession:
         self._relation = new_relation
         return info
 
-    def adopt_snapshot(self, relation: Relation, cube: ExplanationCube) -> None:
+    def adopt_snapshot(
+        self,
+        relation: Relation,
+        cube: ExplanationCube,
+        cache_hit: bool | None = True,
+        prepare_seconds: float = 0.0,
+    ) -> None:
         """Replace the session's relation and prepared cube wholesale.
 
         The streaming fast-forward path uses this when a later snapshot of
         the stream is already in the rollup cache (base fingerprint +
         append log): instead of re-scattering every delta, the session
         jumps straight to the cached cube.  All derived scorers are
-        dropped; the adopted cube counts as a cache hit.
+        dropped.  ``cache_hit`` defaults to ``True`` (the fast-forward
+        semantics); the serving tier's sharded cold build passes its real
+        outcome instead, together with the ``prepare_seconds`` it spent,
+        so latency reporting stays truthful.
         """
         if (
             cube.measure != self._measure
@@ -331,12 +365,13 @@ class ExplainSession:
             raise QueryError(
                 "adopted cube was built for a different query than this session"
             )
-        self._relation = relation
-        self._cube = cube
-        self._scorers.clear()
-        self._series = None
-        self._cache_hit = True
-        self._prepare_seconds = 0.0
+        with self._lock:
+            self._relation = relation
+            self._cube = cube
+            self._scorers.clear()
+            self._series = None
+            self._cache_hit = cache_hit
+            self._prepare_seconds = prepare_seconds
 
     # ------------------------------------------------------------------
     # Run tier
@@ -386,31 +421,40 @@ class ExplainSession:
                 "session's prepared cube cannot serve it — create a new "
                 "ExplainSession with that configuration"
             )
-        start_pos, stop_pos = self._window_positions(start, stop)
-        return self._scorer_for(start_pos, stop_pos, config)
+        with self._lock:
+            start_pos, stop_pos = self._window_positions(start, stop)
+            return self._scorer_for(start_pos, stop_pos, config)
 
     def _scorer_for(
         self, start_pos: int, stop_pos: int, config: ExplainConfig
     ) -> SegmentScorer:
-        key = (start_pos, stop_pos) + tuple(
-            getattr(config, field) for field in SCORER_FIELDS
-        )
-        cached = self._scorers.get(key)
-        if cached is not None:
-            self._scorers.move_to_end(key)
-            return cached
-        cube = self.cube
-        if (start_pos, stop_pos) != (0, cube.n_times - 1):
-            cube = cube.slice_time(start_pos, stop_pos)
-        if config.smoothing_window is not None:
-            cube = smooth_cube(cube, config.smoothing_window)
-        if config.use_filter:
-            cube = apply_support_filter(cube, config.filter_ratio)
-        scorer = SegmentScorer(cube, config.metric)
-        self._scorers[key] = scorer
-        while len(self._scorers) > self._scorer_cache_size:
-            self._scorers.popitem(last=False)
-        return scorer
+        with self._lock:
+            key = (start_pos, stop_pos) + tuple(
+                getattr(config, field) for field in SCORER_FIELDS
+            )
+            cached = self._scorers.get(key)
+            if cached is not None:
+                self._scorers.move_to_end(key)
+                return cached
+            cube = self.cube
+            if (start_pos, stop_pos) != (0, cube.n_times - 1):
+                cube = cube.slice_time(start_pos, stop_pos)
+            if config.smoothing_window is not None:
+                cube = smooth_cube(cube, config.smoothing_window)
+            if config.use_filter:
+                cube = apply_support_filter(cube, config.filter_ratio)
+            if self._cube is not None and self._cube.appendable:
+                # The derived cube may view/alias the live cube's buffers,
+                # which append() re-finalizes in place.  Snapshot it so a
+                # solve running outside the lock can never observe an
+                # append's partial writes (append still drops the LRU
+                # entries the delta actually invalidates).
+                cube = cube.detach(self._cube)
+            scorer = SegmentScorer(cube, config.metric)
+            self._scorers[key] = scorer
+            while len(self._scorers) > self._scorer_cache_size:
+                self._scorers.popitem(last=False)
+            return scorer
 
     def pipeline(
         self,
@@ -444,19 +488,21 @@ class ExplainSession:
                 time_attr=self._time_attr,
                 config=config,
             )
-        started = time.perf_counter()
-        scorer = self.scorer(start, stop, config)
-        derive_seconds = time.perf_counter() - started
-        # The cube build is charged to the first query that triggered it;
-        # later queries report only their own (slice/smooth/filter) cost.
-        build_seconds, self._prepare_seconds = self._prepare_seconds, 0.0
-        return ExplainPipeline.from_scorer(
-            scorer,
-            config,
-            epsilon=self.cube.n_explanations,
-            cache_hit=self._cache_hit,
-            prepare_seconds=build_seconds + derive_seconds,
-        )
+        with self._lock:
+            started = time.perf_counter()
+            scorer = self.scorer(start, stop, config)
+            derive_seconds = time.perf_counter() - started
+            # The cube build is charged to the first query that triggered
+            # it; later queries report only their own (slice/smooth/filter)
+            # cost.
+            build_seconds, self._prepare_seconds = self._prepare_seconds, 0.0
+            return ExplainPipeline.from_scorer(
+                scorer,
+                config,
+                epsilon=self.cube.n_explanations,
+                cache_hit=self._cache_hit,
+                prepare_seconds=build_seconds + derive_seconds,
+            )
 
     def explain(
         self,
@@ -477,8 +523,11 @@ class ExplainSession:
             merges with, the session config — the
             :class:`~repro.core.engine.TSExplain` contract).
         """
+        # The heavy solve/segment tiers run outside the session lock, on
+        # the immutable scorer the pipeline was seeded with.
         result = self.pipeline(start, stop, config).run()
-        self._last_result = result
+        with self._lock:
+            self._last_result = result
         return result
 
     def top_explanations(
@@ -503,10 +552,11 @@ class ExplainSession:
             config = config.updated(m=m)
         # A diff reports no timings, so keep the cube-build cost charged
         # to the next explain() instead of letting pipeline() consume it.
-        self.prepare()
-        build_seconds = self._prepare_seconds
-        pipeline = self.pipeline(config=config)
-        self._prepare_seconds = build_seconds
+        with self._lock:
+            self.prepare()
+            build_seconds = self._prepare_seconds
+            pipeline = self.pipeline(config=config)
+            self._prepare_seconds = build_seconds
         scorer = pipeline.prepare()
         solver = pipeline.solver(scorer)
         series = scorer.cube.overall_series()

@@ -2,7 +2,7 @@
 the persistent rollup cache that makes built cubes reusable artifacts."""
 
 from repro.cube.cache import CacheEntry, CubeKey, RollupCache, cube_key, load_or_build
-from repro.cube.datacube import ExplanationCube, merge_cubes
+from repro.cube.datacube import ExplanationCube, merge_cubes, merge_shard_cubes
 from repro.cube.delta import AppendInfo
 from repro.cube.explanations import CandidateSet, enumerate_candidates
 from repro.cube.filters import (
@@ -24,5 +24,6 @@ __all__ = [
     "enumerate_candidates",
     "load_or_build",
     "merge_cubes",
+    "merge_shard_cubes",
     "support_filter_mask",
 ]

@@ -304,32 +304,67 @@ class RollupCache:
                 )
         header_bytes = json.dumps(header, allow_nan=True).encode("utf-8")
         path = self.path_for(key)
-        self._directory.mkdir(parents=True, exist_ok=True)
-        handle, tmp_name = tempfile.mkstemp(
-            dir=self._directory, suffix=f"{CACHE_SUFFIX}.tmp"
-        )
-        try:
-            with os.fdopen(handle, "wb") as tmp:
-                np.savez_compressed(
-                    tmp,
-                    header=np.frombuffer(header_bytes, dtype=np.uint8),
-                    **arrays,
-                )
-            os.replace(tmp_name, path)
-        except BaseException:
+        # Writes are crash- and racer-safe: the payload lands in a unique
+        # temp file first and is published with an atomic rename, so a
+        # concurrent reader only ever sees a complete entry (or none).  A
+        # concurrent ``clear()``/external cleanup can still remove the
+        # directory (or the temp file) between our mkdir and the rename —
+        # that surfaces as FileNotFoundError, so re-create the directory
+        # and retry the whole write once before giving up.
+        last_error: FileNotFoundError | None = None
+        for _ in range(2):
+            self._directory.mkdir(parents=True, exist_ok=True)
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        self._evict()
-        return path
+                handle, tmp_name = tempfile.mkstemp(
+                    dir=self._directory, suffix=f"{CACHE_SUFFIX}.tmp"
+                )
+            except FileNotFoundError as error:
+                last_error = error
+                continue
+            try:
+                with os.fdopen(handle, "wb") as tmp:
+                    np.savez_compressed(
+                        tmp,
+                        header=np.frombuffer(header_bytes, dtype=np.uint8),
+                        **arrays,
+                    )
+                os.replace(tmp_name, path)
+            except FileNotFoundError as error:
+                last_error = error
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                continue
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self._evict()
+            return path
+        assert last_error is not None
+        raise last_error
+
+    def _glob(self, pattern: str) -> list[Path]:
+        """Directory listing that tolerates the directory vanishing.
+
+        ``Path.glob`` checks ``is_dir`` and then scans; a concurrent
+        ``clear()``/``rmtree`` in another process can remove the
+        directory between the two, surfacing ``FileNotFoundError`` from
+        the scan.  A vanished directory simply has no entries.
+        """
+        try:
+            return list(self._directory.glob(pattern))
+        except OSError:
+            return []
 
     def _evict(self) -> None:
         """Drop the oldest entries beyond ``max_entries`` (newest survive)."""
         if self._max_entries is None:
             return
-        paths = list(self._directory.glob(f"*{CACHE_SUFFIX}"))
+        paths = self._glob(f"*{CACHE_SUFFIX}")
         if len(paths) <= self._max_entries:
             return
         def age(path: Path) -> float:
@@ -357,7 +392,7 @@ class RollupCache:
         rows: list[CacheEntry] = []
         if not self._directory.is_dir():
             return rows
-        for path in sorted(self._directory.glob(f"*{CACHE_SUFFIX}")):
+        for path in sorted(self._glob(f"*{CACHE_SUFFIX}")):
             try:
                 size = path.stat().st_size
             except OSError:
@@ -381,6 +416,10 @@ class RollupCache:
                         n_times=int(header["n_times"]),
                     )
                 )
+            except FileNotFoundError:
+                # Deleted by a concurrent clear()/eviction after the stat;
+                # a vanished entry is not a corrupt one.
+                continue
             except Exception:
                 rows.append(CacheEntry(path=path, size_bytes=size, valid=False))
         return rows
@@ -398,7 +437,7 @@ class RollupCache:
             f"*{LOG_SUFFIX}",
             f"*{LOG_SUFFIX}.tmp",
         ):
-            for path in self._directory.glob(pattern):
+            for path in self._glob(pattern):
                 try:
                     path.unlink()
                     removed += 1

@@ -331,6 +331,46 @@ class ExplanationCube:
             excluded=self._excluded[:, window],
         )
 
+    def detach(self, source: "ExplanationCube") -> "ExplanationCube":
+        """A snapshot of this cube sharing no series memory with ``source``.
+
+        Derived cubes (:meth:`slice_time` windows, :meth:`restrict`'s
+        ``overall``) hold views into — or aliases of — their source's
+        buffers, and an *appendable* source re-finalizes those buffers in
+        place on :meth:`append`.  A consumer that may read concurrently
+        with appends (the session's scorer LRU) detaches first, so an
+        in-flight read can never observe an append's partial writes.
+        Mere array ownership is no aliasing test — right after a build the
+        source's published arrays *are* its grow-buffers — so aliasing is
+        decided with :func:`numpy.shares_memory` against ``source``
+        (typically the live cube; ``self`` works and snapshots fully).
+        Arrays not sharing memory are adopted without copying; a cube
+        sharing nothing returns itself.
+        """
+        pairs = (
+            (self._overall, source._overall),
+            (self._supports, source._supports),
+            (self._included, source._included),
+            (self._excluded, source._excluded),
+        )
+        if not any(np.shares_memory(mine, theirs) for mine, theirs in pairs):
+            return self
+
+        def owned(mine: np.ndarray, theirs: np.ndarray) -> np.ndarray:
+            return mine.copy() if np.shares_memory(mine, theirs) else mine
+
+        return ExplanationCube.from_arrays(
+            aggregate=self._aggregate,
+            measure=self._measure,
+            explain_by=self._explain_by,
+            labels=self._labels,
+            overall=owned(self._overall, source._overall),
+            explanations=self._explanations,
+            supports=owned(self._supports, source._supports),
+            included=owned(self._included, source._included),
+            excluded=owned(self._excluded, source._excluded),
+        )
+
     def restrict(self, keep: np.ndarray) -> "ExplanationCube":
         """A cube containing only the candidates selected by ``keep``.
 
@@ -492,30 +532,19 @@ class ExplanationCube:
         )
 
 
-def merge_cubes(base: ExplanationCube, other: ExplanationCube) -> ExplanationCube:
-    """Merge two appendable cubes built over the same query into a new one.
+def _require_appendable(cube: ExplanationCube) -> CubeAppendState:
+    """The cube's delta ledger, or a descriptive error when it has none."""
+    state = cube.append_state
+    if state is None:
+        raise ExplanationError(
+            "merge_cubes requires appendable cubes (built with "
+            "appendable=True, or cache-loaded with their delta ledger)"
+        )
+    return state
 
-    ``other``'s time labels must each already exist in ``base`` or sort
-    strictly after its last label (the streaming append contract); both
-    cubes must share measure, aggregate, explain-by set, ``max_order``,
-    ``deduplicate`` and schema.  Neither input is mutated.
 
-    The merged states combine with :meth:`AggregateFunction.merge`, so the
-    result is bit-identical to a one-shot build over the concatenated
-    relations whenever no ``(group, timestamp)`` bucket holds rows on both
-    sides (e.g. partitioned-by-time shards); buckets fed by both sides are
-    numerically equal up to float-addition reassociation.  For the exact
-    row-order-preserving path, use :meth:`ExplanationCube.append` with the
-    delta *relation* instead.
-    """
-    for cube in (base, other):
-        if not cube.appendable:
-            raise ExplanationError(
-                "merge_cubes requires appendable cubes (built with "
-                "appendable=True, or cache-loaded with their delta ledger)"
-            )
-    left, right = base.append_state, other.append_state
-    assert left is not None and right is not None
+def _check_same_query(left: CubeAppendState, right: CubeAppendState) -> None:
+    """Reject merging ledgers whose cube-shaping parameters differ."""
     mismatched = [
         field
         for field, a, b in (
@@ -532,8 +561,68 @@ def merge_cubes(base: ExplanationCube, other: ExplanationCube) -> ExplanationCub
         raise ExplanationError(
             f"cannot merge cubes built with different {mismatched}"
         )
+
+
+def merge_cubes(base: ExplanationCube, other: ExplanationCube) -> ExplanationCube:
+    """Merge two appendable cubes built over the same query into a new one.
+
+    ``other``'s time labels must each already exist in ``base`` or sort
+    strictly after its last label (the streaming append contract); both
+    cubes must share measure, aggregate, explain-by set, ``max_order``,
+    ``deduplicate`` and schema.  Neither input is mutated.
+
+    The merged states combine with :meth:`AggregateFunction.merge`, so the
+    result is bit-identical to a one-shot build over the concatenated
+    relations whenever no ``(group, timestamp)`` bucket holds rows on both
+    sides (e.g. partitioned-by-time shards); buckets fed by both sides are
+    numerically equal up to float-addition reassociation.  For the exact
+    row-order-preserving path, use :meth:`ExplanationCube.append` with the
+    delta *relation* instead.
+    """
+    left = _require_appendable(base)
+    right = _require_appendable(other)
+    _check_same_query(left, right)
     merged = left.clone()
     merged.absorb(right)
+    return ExplanationCube.from_append_state(merged)
+
+
+def merge_shard_cubes(shards: Sequence[ExplanationCube]) -> ExplanationCube:
+    """Combine time-partitioned shard cubes into one cube (shards in order).
+
+    This is the list form :class:`~repro.serve.sharding.ShardedBuilder`
+    feeds: each shard must cover a time-label range that sorts *strictly
+    after* the previous shard's (disjoint and ordered), so every
+    ``(group, timestamp)`` bucket is fed by exactly one shard and the
+    merged cube is **bit-identical** to a one-shot build over the
+    concatenated shard relations.  Unlike :func:`merge_cubes` — which
+    tolerates shared timestamps by state-merging them — an overlapping or
+    out-of-order shard here is a partitioning bug, so it raises
+    :class:`~repro.exceptions.QueryError` instead of silently degrading
+    the bit-identity guarantee.  An empty shard list raises too; a single
+    shard returns a fresh re-finalized cube (no aliasing with the input).
+    """
+    shards = list(shards)
+    if not shards:
+        raise QueryError("cannot merge an empty list of shard cubes")
+    states = [_require_appendable(cube) for cube in shards]
+    previous_last = None
+    for position, state in enumerate(states):
+        if not state.labels:
+            raise QueryError(f"shard {position} covers no time points")
+        first, last = state.time_range()
+        if previous_last is not None and not first > previous_last:
+            raise QueryError(
+                f"shard {position} starts at {first!r}, which does not sort "
+                f"strictly after the previous shard's last timestamp "
+                f"{previous_last!r}; time shards must be disjoint and given "
+                "in time order"
+            )
+        previous_last = last
+    merged = states[0].clone()
+    for state in states[1:]:
+        _check_same_query(merged, state)
+        merged.absorb(state)
     return ExplanationCube.from_append_state(merged)
 
 

@@ -1,0 +1,37 @@
+"""The serving tier: many datasets, many tenants, many concurrent queries.
+
+Everything below :class:`~repro.core.session.ExplainSession` is
+per-query machinery; this package is the layer a production deployment
+actually runs:
+
+* :class:`~repro.serve.registry.SessionRegistry` — owns many named
+  prepared sessions behind a memory-budget + TTL LRU, with per-key build
+  locks so concurrent requests for a cold dataset trigger exactly one
+  prepare (single-flight coalescing).
+* :class:`~repro.serve.sharding.ShardedBuilder` — splits a cold relation
+  into time shards, builds shard cubes in parallel worker *processes*, and
+  combines them with :func:`~repro.cube.datacube.merge_shard_cubes` —
+  byte-identical to a one-shot build, and feeding the same persistent
+  :class:`~repro.cube.cache.RollupCache`.
+* :class:`~repro.serve.scheduler.QueryScheduler` — a query thread pool
+  that dedupes identical in-flight queries and serves results from the
+  session LRU.
+* :mod:`~repro.serve.http` — a stdlib ``http.server`` JSON API
+  (``/explain``, ``/diff``, ``/recommend``, ``/datasets``, ``/stats``)
+  wired to the registry and scheduler; ``repro serve`` starts it.
+"""
+
+from repro.serve.http import ServeApp, make_app
+from repro.serve.registry import DatasetSpec, SessionRegistry
+from repro.serve.scheduler import QueryScheduler
+from repro.serve.sharding import ShardedBuilder, split_time_shards
+
+__all__ = [
+    "DatasetSpec",
+    "QueryScheduler",
+    "ServeApp",
+    "SessionRegistry",
+    "ShardedBuilder",
+    "make_app",
+    "split_time_shards",
+]

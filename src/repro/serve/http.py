@@ -1,0 +1,317 @@
+"""The stdlib JSON-over-HTTP front end of the serving tier.
+
+No web framework — a :class:`http.server.ThreadingHTTPServer` whose
+handler parses query strings, hands the work to the
+:class:`~repro.serve.scheduler.QueryScheduler` (which dedupes identical
+in-flight queries and shares prepared sessions through the registry), and
+writes JSON.  Endpoints:
+
+``GET /explain?dataset=NAME[&start=..&stop=..&k=..&m=..&metric=..&smoothing=..&variant=..&filter=0|1&filter_ratio=..]``
+    Segment and explain the dataset's series (optionally windowed).
+``GET /diff?dataset=NAME&start=..&stop=..[&m=..]``
+    Two-point diff between two timestamp labels.
+``GET /recommend?dataset=NAME[&m=..]``
+    Rank the dataset's candidate explain-by attributes.
+``GET /datasets``
+    Registered datasets with residency info.
+``GET /stats``
+    Registry + scheduler counters, memory, uptime.
+``GET /healthz``
+    Liveness probe.
+
+Errors map to JSON bodies: 400 for malformed or unservable queries
+(:class:`~repro.exceptions.ReproError`), 404 for unknown paths or
+unregistered datasets, 500 for anything unexpected.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Sequence
+from urllib.parse import parse_qs, urlparse
+
+from repro.exceptions import QueryError, ReproError
+from repro.serve.jsonio import diff_to_json, recommend_to_json, result_to_json
+from repro.serve.registry import SessionRegistry
+from repro.serve.scheduler import (
+    DEFAULT_QUERY_WORKERS,
+    QUERY_OVERRIDE_TYPES,
+    QueryScheduler,
+)
+from repro.serve.sharding import ShardedBuilder
+
+#: Query-string spellings that differ from the ExplainConfig field name.
+_QS_NAME = {"smoothing_window": "smoothing", "use_filter": "filter"}
+
+
+def _explain_param_table() -> dict[str, tuple[str, type]]:
+    """``{query-string name: (scheduler parameter, type)}`` for /explain.
+
+    Derived from the scheduler's canonical ``QUERY_OVERRIDE_TYPES`` so a
+    new override becomes reachable over HTTP without a second edit here.
+    """
+    table: dict[str, tuple[str, type]] = {
+        "start": ("start", str),
+        "stop": ("stop", str),
+    }
+    for field, kind in QUERY_OVERRIDE_TYPES.items():
+        table[_QS_NAME.get(field, field)] = (field, kind)
+    return table
+
+
+_EXPLAIN_TABLE = _explain_param_table()
+
+
+def _coerce(name: str, raw: str, kind: type):
+    try:
+        if kind is bool:
+            lowered = raw.strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                return True
+            if lowered in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(raw)
+        return kind(raw)
+    except ValueError:
+        raise QueryError(
+            f"parameter {name!r} expects {kind.__name__}, got {raw!r}"
+        ) from None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the app instance is injected via the server object."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        app: "ServeApp" = self.server.app  # type: ignore[attr-defined]
+        parsed = urlparse(self.path)
+        params = {
+            name: values[-1] for name, values in parse_qs(parsed.query).items()
+        }
+        try:
+            payload, status = app.dispatch(parsed.path, params)
+        except ReproError as error:
+            payload, status = {"error": str(error)}, 400
+        except Exception as error:  # pragma: no cover - defensive 500
+            payload, status = {"error": f"internal error: {error}"}, 500
+        body = json.dumps(payload, default=str).encode("utf-8")
+        # Count before writing (a client that has read its response must
+        # observe the updated counter), but trip the max-requests breaker
+        # only after the body is fully written — shutting down mid-write
+        # would hand the last client a torn response.
+        app.note_request()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        app.maybe_trip()
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # Request logging is the app's choice, not stderr spam per hit.
+        app: "ServeApp" = self.server.app  # type: ignore[attr-defined]
+        if app.verbose:
+            super().log_message(format, *args)
+
+
+class ServeApp:
+    """The wired-together serving tier: registry + scheduler + HTTP server.
+
+    Parameters
+    ----------
+    registry / scheduler:
+        The state and execution layers; :func:`make_app` builds both from
+        flat options.
+    host / port:
+        Bind address; ``port=0`` asks the OS for an ephemeral port (read
+        it back from :attr:`port` — the CLI prints it).
+    max_requests:
+        After this many served requests the server shuts itself down —
+        smoke tests and CI use it to run a bounded session without
+        process-kill choreography.  ``None`` (default) serves forever.
+    verbose:
+        Log each request line to stderr (stdlib format).
+    """
+
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        scheduler: QueryScheduler | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        max_requests: int | None = None,
+        verbose: bool = False,
+    ):
+        self.registry = registry
+        self.scheduler = scheduler or QueryScheduler(registry)
+        self.verbose = verbose
+        self._max_requests = max_requests
+        self._requests = 0
+        self._requests_lock = threading.Lock()
+        self._started = time.monotonic()
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.app = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def requests_served(self) -> int:
+        with self._requests_lock:
+            return self._requests
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (CLI mode)."""
+        self._server.serve_forever()
+
+    def start(self) -> "ServeApp":
+        """Serve on a daemon thread (tests, benchmarks); returns self."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self.scheduler.shutdown(wait=False)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def note_request(self) -> None:
+        """Count one served request."""
+        with self._requests_lock:
+            self._requests += 1
+
+    def maybe_trip(self) -> None:
+        """Stop the serve loop once ``max_requests`` responses are out."""
+        with self._requests_lock:
+            tripped = (
+                self._max_requests is not None
+                and self._requests >= self._max_requests
+            )
+        if tripped:
+            # shutdown() must come from another thread: serve_forever
+            # cannot process its own stop event while handling a request.
+            threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def dispatch(self, path: str, params: dict[str, str]) -> tuple[dict, int]:
+        """Resolve one request to ``(json_payload, status)``."""
+        if path in ("/healthz", "/health"):
+            return {"ok": True}, 200
+        if path == "/datasets":
+            return {"datasets": self.registry.describe()}, 200
+        if path == "/stats":
+            self.registry.sweep()
+            return (
+                {
+                    "uptime_seconds": round(time.monotonic() - self._started, 3),
+                    "requests": self.requests_served,
+                    "registry": self.registry.stats(),
+                    "scheduler": self.scheduler.stats(),
+                },
+                200,
+            )
+        if path in ("/explain", "/diff", "/recommend"):
+            dataset = params.pop("dataset", None)
+            if not dataset:
+                raise QueryError(f"{path} requires a dataset parameter")
+            if dataset not in self.registry:
+                return (
+                    {
+                        "error": f"unknown dataset {dataset!r}",
+                        "registered": list(self.registry.names()),
+                    },
+                    404,
+                )
+            return self._query(path.lstrip("/"), dataset, params), 200
+        return {"error": f"no such endpoint {path!r}"}, 404
+
+    def _query(self, kind: str, dataset: str, params: dict[str, str]) -> dict:
+        if kind == "explain":
+            known = _EXPLAIN_TABLE
+        elif kind == "diff":
+            known = {"start": ("start", str), "stop": ("stop", str), "m": ("m", int)}
+        else:
+            known = {"m": ("m", int)}
+        unknown = set(params) - set(known)
+        if unknown:
+            raise QueryError(
+                f"unsupported parameter(s) {sorted(unknown)} for /{kind}"
+            )
+        converted = {
+            known[qs][0]: _coerce(qs, raw, known[qs][1])
+            for qs, raw in params.items()
+        }
+        outcome = self.scheduler.execute(kind, dataset, **converted)
+        if kind == "explain":
+            return result_to_json(outcome)
+        if kind == "diff":
+            return diff_to_json(outcome)
+        return recommend_to_json(outcome)
+
+
+def make_app(
+    datasets: Sequence[str] | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    cache_dir: str | None = None,
+    memory_budget_bytes: int | None = None,
+    ttl_seconds: float | None = None,
+    query_workers: int = DEFAULT_QUERY_WORKERS,
+    build_shards: int | None = None,
+    build_workers: int | None = None,
+    max_requests: int | None = None,
+    verbose: bool = False,
+) -> ServeApp:
+    """Assemble a ready-to-start :class:`ServeApp` from flat options.
+
+    ``datasets`` defaults to every bundled dataset.  ``build_shards``
+    enables the sharded parallel cold build (``None``/``0``/``1`` builds
+    one-shot); ``build_workers`` sizes its process pool.
+    """
+    builder = None
+    if build_shards is not None and build_shards > 1:
+        builder = ShardedBuilder(n_shards=build_shards, max_workers=build_workers)
+    registry = SessionRegistry.with_bundled_datasets(
+        names=datasets,
+        memory_budget_bytes=memory_budget_bytes,
+        ttl_seconds=ttl_seconds,
+        builder=builder,
+        cache_dir=cache_dir,
+    )
+    scheduler = QueryScheduler(registry, max_workers=query_workers)
+    return ServeApp(
+        registry,
+        scheduler,
+        host=host,
+        port=port,
+        max_requests=max_requests,
+        verbose=verbose,
+    )

@@ -1,0 +1,74 @@
+"""JSON renderings of result objects for the HTTP API.
+
+Explanations are rendered twice: structurally (``items`` — the sorted
+``[attribute, value]`` pairs a programmatic client filters on) and as the
+canonical ``repr`` string the CLI prints, so API responses can be compared
+against CLI output byte-for-byte (the serve smoke test does exactly that).
+Gammas additionally carry their ``float.hex`` form — the byte-exact
+encoding the benchmarks use to assert parity without float round-tripping.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.recommend import AttributeScore
+from repro.core.result import ExplainResult, SegmentExplanation
+from repro.diff.scorer import ScoredExplanation
+
+
+def scored_to_json(scored: ScoredExplanation) -> dict:
+    return {
+        "explanation": repr(scored.explanation),
+        "items": [[name, value] for name, value in scored.explanation.items],
+        "gamma": scored.gamma,
+        "gamma_hex": float(scored.gamma).hex(),
+        "tau": scored.tau,
+        "effect": scored.effect_symbol,
+    }
+
+
+def segment_to_json(segment: SegmentExplanation) -> dict:
+    return {
+        "start": segment.start,
+        "stop": segment.stop,
+        "start_label": segment.start_label,
+        "stop_label": segment.stop_label,
+        "variance": segment.variance,
+        "explanations": [scored_to_json(s) for s in segment.explanations],
+    }
+
+
+def result_to_json(result: ExplainResult) -> dict:
+    return {
+        "k": result.k,
+        "k_was_auto": result.k_was_auto,
+        "total_variance": result.total_variance,
+        "epsilon": result.epsilon,
+        "filtered_epsilon": result.filtered_epsilon,
+        "timings": {name: value for name, value in result.timings.items()},
+        "series": {
+            "labels": list(result.series.labels),
+            "values": [float(v) for v in result.series.values],
+        },
+        "segments": [segment_to_json(segment) for segment in result.segments],
+    }
+
+
+def diff_to_json(scored: Sequence[ScoredExplanation]) -> dict:
+    return {"explanations": [scored_to_json(s) for s in scored]}
+
+
+def recommend_to_json(scores: Sequence[AttributeScore]) -> dict:
+    return {
+        "attributes": [
+            {
+                "attribute": score.attribute,
+                "coverage": score.coverage,
+                "concentration": score.concentration,
+                "cardinality": score.cardinality,
+                "score": score.score,
+            }
+            for score in scores
+        ]
+    }

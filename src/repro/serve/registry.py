@@ -1,0 +1,411 @@
+"""Many named prepared sessions behind a memory-budget + TTL LRU.
+
+The registry is the serving tier's state: it owns one
+:class:`~repro.core.session.ExplainSession` per *dataset* (a named query:
+relation + measure + explain-by + config) and answers "give me the
+prepared session for ``name``" under three production constraints:
+
+* **bounded memory** — prepared cubes are the dominant resident cost, so
+  sessions carry a byte estimate and the least-recently-used ones are
+  evicted once the budget is exceeded (the most recent session always
+  survives, even over budget: evicting the session a request is about to
+  use would thrash);
+* **bounded staleness** — entries idle longer than the TTL are dropped
+  lazily on access and by :meth:`sweep`, so a long-running server does
+  not pin cold tenants forever;
+* **single-flight cold builds** — a per-key build lock makes N concurrent
+  requests for a cold dataset trigger exactly *one* prepare; the other
+  N-1 threads block on the lock and then adopt the winner's session
+  (counted as ``coalesced`` in :meth:`stats`).
+
+Cold prepares go through the :class:`~repro.serve.sharding.ShardedBuilder`
+when one is configured (parallel shard builds, byte-identical, feeding the
+persistent rollup cache); otherwise through the session's own
+:meth:`~repro.core.session.ExplainSession.prepare`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.config import ExplainConfig
+from repro.core.session import ExplainSession
+from repro.cube.cache import RollupCache
+from repro.datasets.base import Dataset
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.exceptions import QueryError
+from repro.serve.sharding import ShardedBuilder
+
+
+def default_config_for(dataset: Dataset) -> ExplainConfig:
+    """The serving default for a dataset: optimized + its smoothing.
+
+    Mirrors the CLI's ``repro explain`` defaults exactly, so a query
+    served over HTTP and the same query run from the command line return
+    identical explanations.
+    """
+    config = ExplainConfig.optimized()
+    window = dataset.smoothing_window
+    if window is not None and window > 1:
+        config = config.updated(smoothing_window=window)
+    return config
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """How the registry materializes one named dataset on first use.
+
+    ``loader`` is a zero-argument callable returning a
+    :class:`~repro.datasets.base.Dataset`; it runs at most once per cold
+    build (under the single-flight lock).  ``config`` overrides the
+    serving default (:func:`default_config_for`); ``explain_by`` overrides
+    the dataset's own attribute set.
+    """
+
+    name: str
+    loader: Callable[[], Dataset]
+    config: ExplainConfig | None = None
+    explain_by: tuple[str, ...] | None = None
+    description: str = ""
+
+    @classmethod
+    def bundled(cls, name: str, **kwargs) -> "DatasetSpec":
+        """A spec for one of the bundled datasets (lazy-loaded)."""
+        return cls(name=name, loader=lambda: load_dataset(name), **kwargs)
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset, **kwargs) -> "DatasetSpec":
+        """A spec wrapping an already-materialized dataset."""
+        return cls(name=dataset.name, loader=lambda: dataset, **kwargs)
+
+
+def session_nbytes(session: ExplainSession) -> int:
+    """Resident-size estimate of a prepared session, in bytes.
+
+    Counts the dominant arrays: the finalized series matrices plus the
+    delta ledger's aggregate states.  Derived scorer-LRU entries are
+    bounded separately (per session) and excluded — the estimate drives
+    relative eviction order, not an allocator.
+    """
+    cube = session.cube
+    total = (
+        cube.included_values.nbytes
+        + cube.excluded_values.nbytes
+        + cube.overall_values.nbytes
+        + cube.supports.nbytes
+    )
+    state = cube.append_state
+    if state is not None:
+        total += state.overall.nbytes
+        for ledger in state.ledgers:
+            total += ledger.state.nbytes + ledger.counts.nbytes
+    return total
+
+
+@dataclass
+class _Entry:
+    """One resident session plus its LRU bookkeeping."""
+
+    session: ExplainSession
+    nbytes: int
+    created: float
+    last_used: float
+    build_seconds: float
+    queries: int = 0
+
+
+@dataclass
+class RegistryStats:
+    """Counters the registry exposes through ``/stats``."""
+
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    build_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "build_seconds": self.build_seconds,
+        }
+
+
+class SessionRegistry:
+    """Named prepared sessions behind a memory-budget + TTL LRU.
+
+    Parameters
+    ----------
+    specs:
+        Initial :class:`DatasetSpec`s; more can be added with
+        :meth:`register`.
+    memory_budget_bytes:
+        Soft cap on the summed session estimates; ``None`` (default) is
+        unbounded.  The most recently used session always survives.
+    ttl_seconds:
+        Idle time after which a session is dropped; ``None`` disables.
+    builder:
+        A :class:`~repro.serve.sharding.ShardedBuilder` for parallel cold
+        builds; ``None`` prepares sessions in-process, one-shot.
+    cache_dir:
+        Persistent rollup-cache directory shared by every dataset; cold
+        builds load from and store into it.
+    clock:
+        Injectable monotonic clock (tests pin TTL behaviour with it).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[DatasetSpec] = (),
+        memory_budget_bytes: int | None = None,
+        ttl_seconds: float | None = None,
+        builder: ShardedBuilder | None = None,
+        cache_dir: str | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._specs: dict[str, DatasetSpec] = {}
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._build_locks: dict[str, threading.Lock] = {}
+        self._memory_budget = memory_budget_bytes
+        self._ttl = ttl_seconds
+        self._builder = builder
+        self._cache = RollupCache(cache_dir) if cache_dir else None
+        self._cache_dir = cache_dir
+        self._clock = clock
+        self._stats = RegistryStats()
+        for spec in specs:
+            self.register(spec)
+
+    @classmethod
+    def with_bundled_datasets(cls, names: Sequence[str] | None = None, **kwargs) -> "SessionRegistry":
+        """A registry pre-populated with (a subset of) the bundled datasets."""
+        names = tuple(names) if names is not None else available_datasets()
+        return cls(specs=[DatasetSpec.bundled(name) for name in names], **kwargs)
+
+    # ------------------------------------------------------------------
+    # Spec management
+    # ------------------------------------------------------------------
+    def register(self, spec: DatasetSpec) -> None:
+        """Add (or replace) a dataset spec; a resident session is dropped."""
+        with self._lock:
+            self._specs[spec.name] = spec
+            self._entries.pop(spec.name, None)
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._specs))
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._specs
+
+    # ------------------------------------------------------------------
+    # The hot path
+    # ------------------------------------------------------------------
+    def session(self, name: str) -> ExplainSession:
+        """The prepared session for ``name`` (single-flight on cold keys)."""
+        with self._lock:
+            spec = self._spec_for(name)
+            entry = self._live_entry(name)
+            if entry is not None:
+                self._stats.hits += 1
+                entry.queries += 1
+                return entry.session
+            self._stats.misses += 1
+            build_lock = self._build_locks.setdefault(name, threading.Lock())
+        # Build outside the registry lock so other datasets stay servable;
+        # the per-key lock is what coalesces concurrent cold requests.
+        waited = not build_lock.acquire(blocking=False)
+        if waited:
+            build_lock.acquire()
+        try:
+            with self._lock:
+                entry = self._live_entry(name)
+                if entry is not None:
+                    # A racer built it while we waited on the key lock.
+                    if waited:
+                        self._stats.coalesced += 1
+                    entry.queries += 1
+                    return entry.session
+            session, build_seconds = self._prepare(spec)
+            with self._lock:
+                # register() may have replaced the spec while we built;
+                # serve this request from the stale session but never
+                # cache it — the next request prepares the new spec.
+                if self._specs.get(name) is spec:
+                    self._admit(name, session, build_seconds)
+            return session
+        finally:
+            build_lock.release()
+
+    def touch(self, name: str) -> None:
+        """Refresh ``name``'s LRU position without counting a query."""
+        with self._lock:
+            self._live_entry(name)
+
+    # ------------------------------------------------------------------
+    # Maintenance and introspection
+    # ------------------------------------------------------------------
+    def evict(self, name: str) -> bool:
+        """Drop a resident session (the spec stays registered)."""
+        with self._lock:
+            return self._entries.pop(name, None) is not None
+
+    def clear(self) -> None:
+        """Drop every resident session."""
+        with self._lock:
+            self._entries.clear()
+
+    def sweep(self) -> int:
+        """Drop every TTL-expired session; returns how many were dropped."""
+        if self._ttl is None:
+            return 0
+        with self._lock:
+            now = self._clock()
+            expired = [
+                name
+                for name, entry in self._entries.items()
+                if now - entry.last_used > self._ttl
+            ]
+            for name in expired:
+                del self._entries[name]
+            self._stats.expirations += len(expired)
+            return len(expired)
+
+    def memory_bytes(self) -> int:
+        with self._lock:
+            return sum(entry.nbytes for entry in self._entries.values())
+
+    def describe(self) -> list[dict]:
+        """One JSON-shaped record per registered dataset (``/datasets``)."""
+        with self._lock:
+            now = self._clock()
+            rows = []
+            for name in sorted(self._specs):
+                spec = self._specs[name]
+                row: dict = {
+                    "name": name,
+                    "description": spec.description,
+                    "loaded": name in self._entries,
+                }
+                entry = self._entries.get(name)
+                if entry is not None:
+                    cube = entry.session.cube
+                    row.update(
+                        rows=entry.session.relation.n_rows,
+                        epsilon=cube.n_explanations,
+                        n_times=cube.n_times,
+                        memory_bytes=entry.nbytes,
+                        queries=entry.queries,
+                        idle_seconds=round(now - entry.last_used, 3),
+                        build_seconds=round(entry.build_seconds, 6),
+                    )
+                rows.append(row)
+            return rows
+
+    def stats(self) -> dict:
+        """Registry counters plus the resident-session roster (``/stats``)."""
+        with self._lock:
+            payload = self._stats.as_dict()
+            payload.update(
+                datasets=len(self._specs),
+                resident_sessions=len(self._entries),
+                memory_bytes=sum(e.nbytes for e in self._entries.values()),
+                memory_budget_bytes=self._memory_budget,
+                ttl_seconds=self._ttl,
+                cache_dir=self._cache_dir,
+                sharded_builds=self._builder is not None,
+            )
+            return payload
+
+    # ------------------------------------------------------------------
+    # Internals (registry lock held unless noted)
+    # ------------------------------------------------------------------
+    def _spec_for(self, name: str) -> DatasetSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise QueryError(
+                f"unknown dataset {name!r}; registered: {sorted(self._specs)}"
+            ) from None
+
+    def _live_entry(self, name: str) -> _Entry | None:
+        """The entry for ``name`` if resident and fresh; touches its LRU slot."""
+        entry = self._entries.get(name)
+        if entry is None:
+            return None
+        now = self._clock()
+        if self._ttl is not None and now - entry.last_used > self._ttl:
+            del self._entries[name]
+            self._stats.expirations += 1
+            return None
+        entry.last_used = now
+        self._entries.move_to_end(name)
+        return entry
+
+    def _prepare(self, spec: DatasetSpec) -> tuple[ExplainSession, float]:
+        """Materialize and prepare a session (runs under the key lock only)."""
+        started = time.perf_counter()
+        dataset = spec.loader()
+        config = spec.config if spec.config is not None else default_config_for(dataset)
+        if self._cache_dir and not config.cache_dir:
+            config = config.updated(cache_dir=self._cache_dir)
+        explain_by = spec.explain_by or dataset.explain_by
+        session = ExplainSession(
+            dataset.relation,
+            measure=dataset.measure,
+            explain_by=explain_by,
+            aggregate=dataset.aggregate,
+            config=config,
+        )
+        if self._builder is not None:
+            cube, report = self._builder.build_with_report(
+                dataset.relation,
+                explain_by,
+                dataset.measure,
+                aggregate=dataset.aggregate,
+                max_order=config.max_order,
+                deduplicate=config.deduplicate,
+                columnar=config.columnar,
+                cache=self._cache,
+            )
+            session.adopt_snapshot(
+                dataset.relation,
+                cube,
+                cache_hit=report.cache_hit,
+                prepare_seconds=time.perf_counter() - started,
+            )
+        else:
+            session.prepare()
+        return session, time.perf_counter() - started
+
+    def _admit(self, name: str, session: ExplainSession, build_seconds: float) -> None:
+        now = self._clock()
+        self._entries[name] = _Entry(
+            session=session,
+            nbytes=session_nbytes(session),
+            created=now,
+            last_used=now,
+            build_seconds=build_seconds,
+            queries=1,
+        )
+        self._entries.move_to_end(name)
+        self._stats.build_seconds += build_seconds
+        if self._memory_budget is None:
+            return
+        while (
+            len(self._entries) > 1
+            and sum(e.nbytes for e in self._entries.values()) > self._memory_budget
+        ):
+            self._entries.popitem(last=False)
+            self._stats.evictions += 1

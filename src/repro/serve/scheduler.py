@@ -1,0 +1,180 @@
+"""The query thread pool with in-flight deduplication.
+
+Interactive dashboards produce *herds*: when a KPI page loads, every
+widget (and every user looking at it) fires the same ``/explain`` at
+once.  The scheduler makes that cheap twice over: queries run on a bounded
+thread pool against sessions shared through the
+:class:`~repro.serve.registry.SessionRegistry` (whose per-session locks
+make concurrent access safe), and *identical* in-flight queries are
+coalesced onto one future — the second-through-Nth callers attach to the
+first's result instead of re-deriving it.
+
+Deduplication is keyed by the full canonical query: kind (explain / diff /
+recommend), dataset name, window, and every run-tier override.  The key is
+dropped the moment the future completes, so repeat queries after that go
+through the session's scorer LRU (cheap) rather than returning stale
+futures.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.core.result import ExplainResult
+from repro.exceptions import QueryError
+from repro.serve.registry import SessionRegistry
+
+#: Run-tier ExplainConfig fields a query may override per request, with
+#: their value types.  The single source of truth: :meth:`_validate`
+#: checks against it and the HTTP layer derives its query-string parsing
+#: table from it, so the two layers cannot drift apart.
+QUERY_OVERRIDE_TYPES: dict[str, type] = {
+    "k": int,
+    "m": int,
+    "metric": str,
+    "variant": str,
+    "smoothing_window": int,
+    "use_filter": bool,
+    "filter_ratio": float,
+}
+
+#: The override field names alone.
+QUERY_OVERRIDE_FIELDS = tuple(QUERY_OVERRIDE_TYPES)
+
+#: Supported query kinds.
+KINDS = ("explain", "diff", "recommend")
+
+#: Default size of the query thread pool.
+DEFAULT_QUERY_WORKERS = 8
+
+
+class QueryScheduler:
+    """Bounded-concurrency query execution over a session registry.
+
+    Parameters
+    ----------
+    registry:
+        The session registry queries resolve their dataset against.
+    max_workers:
+        Query threads (default ``DEFAULT_QUERY_WORKERS``).  Cold-build
+        single-flight is the registry's job; this pool only bounds how
+        many run-tier solves execute at once.
+    """
+
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        max_workers: int = DEFAULT_QUERY_WORKERS,
+    ):
+        self._registry = registry
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-query"
+        )
+        # RLock: a future that completes instantly runs its done-callback
+        # on the submitting thread, inside the submit critical section.
+        self._lock = threading.RLock()
+        self._inflight: dict[tuple, Future] = {}
+        self._submitted = 0
+        self._coalesced = 0
+        self._completed = 0
+        self._errors = 0
+        self._closed = False
+
+    @property
+    def registry(self) -> SessionRegistry:
+        return self._registry
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, dataset: str, **params) -> Future:
+        """Enqueue one query; identical in-flight queries share a future.
+
+        ``params`` for ``explain``: ``start``/``stop`` plus any field in
+        ``QUERY_OVERRIDE_FIELDS``.  For ``diff``: ``start``/``stop``
+        (required) and ``m``.  For ``recommend``: ``m``.  Unknown kinds or
+        parameters raise :class:`~repro.exceptions.QueryError`
+        synchronously — a malformed query should fail the caller, not
+        poison a worker.
+        """
+        if kind not in KINDS:
+            raise QueryError(f"unknown query kind {kind!r}; expected one of {KINDS}")
+        self._validate(kind, params)
+        key = (kind, dataset, tuple(sorted(params.items())))
+        with self._lock:
+            if self._closed:
+                raise QueryError("scheduler is shut down")
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self._coalesced += 1
+                return existing
+            future = self._pool.submit(self._run, kind, dataset, dict(params))
+            self._inflight[key] = future
+            self._submitted += 1
+            future.add_done_callback(lambda _f, key=key: self._forget(key))
+            return future
+
+    def execute(self, kind: str, dataset: str, **params):
+        """Synchronous convenience wrapper: submit and wait."""
+        return self.submit(kind, dataset, **params).result()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "coalesced": self._coalesced,
+                "completed": self._completed,
+                "errors": self._errors,
+                "inflight": len(self._inflight),
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(kind: str, params: dict) -> None:
+        allowed = {"start", "stop"} | set(QUERY_OVERRIDE_FIELDS)
+        if kind == "diff":
+            allowed = {"start", "stop", "m"}
+            if params.get("start") is None or params.get("stop") is None:
+                raise QueryError("diff requires both start and stop")
+        elif kind == "recommend":
+            allowed = {"m"}
+        unknown = set(params) - allowed
+        if unknown:
+            raise QueryError(
+                f"unsupported parameter(s) {sorted(unknown)} for {kind!r}"
+            )
+
+    def _forget(self, key: tuple) -> None:
+        with self._lock:
+            future = self._inflight.pop(key, None)
+            if future is not None:
+                self._completed += 1
+                if future.exception() is not None:
+                    self._errors += 1
+
+    def _run(self, kind: str, dataset: str, params: dict):
+        session = self._registry.session(dataset)
+        if kind == "recommend":
+            m = params.get("m")
+            return session.recommend(m=3 if m is None else m)
+        start = params.pop("start", None)
+        stop = params.pop("stop", None)
+        if kind == "diff":
+            return session.diff(start, stop, m=params.get("m"))
+        overrides = {
+            name: value
+            for name, value in params.items()
+            if name in QUERY_OVERRIDE_FIELDS and value is not None
+        }
+        config = session.config.updated(**overrides) if overrides else None
+        result: ExplainResult = session.explain(start, stop, config=config)
+        return result

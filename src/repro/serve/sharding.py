@@ -1,0 +1,289 @@
+"""Parallel sharded cold builds: split by time, build per shard, merge.
+
+The cube build is the serving tier's only expensive operation, and it is
+embarrassingly parallel along the time axis: rows are partitioned into
+contiguous time-label ranges, each shard's cube is built independently (in
+a ``ProcessPoolExecutor``, sidestepping the GIL — the columnar scatter is
+numpy-bound but candidate enumeration is not), and the shard cubes are
+combined with :func:`~repro.cube.datacube.merge_shard_cubes`.
+
+Because the shards partition rows *by timestamp*, no ``(group, time)``
+aggregate bucket is ever fed by two shards, so the merged cube is
+**bit-identical** to the one-shot build over the same relation — same
+candidate order, same series bytes, same top-k explanations.  The merged
+cube keeps its delta ledger, so it remains appendable and cacheable
+exactly like a one-shot build.
+
+Worker processes receive the shard relation by pickling; anything that
+prevents parallelism (a missing ``fork``/``spawn`` facility, a sandboxed
+environment refusing new processes, an unpicklable custom aggregate)
+degrades to building the shards serially in-process — same bytes, no
+speedup, never a failure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.cube.cache import RollupCache, cube_key
+from repro.cube.datacube import ExplanationCube, merge_shard_cubes
+from repro.relation.table import Relation
+
+
+def default_workers() -> int:
+    """Worker processes used when the caller does not pin a count."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def split_time_shards(
+    relation: Relation, time_attr: str | None = None, n_shards: int = 2
+) -> list[Relation]:
+    """Partition rows into contiguous time-label ranges.
+
+    Every row lands in exactly one shard, rows inside a shard keep their
+    relative order (boolean-mask selection), and shard ``i``'s labels all
+    sort strictly before shard ``i+1``'s — the precondition
+    :func:`~repro.cube.datacube.merge_shard_cubes` enforces.  ``n_shards``
+    is clamped to the number of distinct labels, so every returned shard
+    is non-empty; a single-label relation yields one shard.
+    """
+    positions, labels = relation.time_positions(time_attr)
+    n_labels = len(labels)
+    n_shards = max(1, min(n_shards, n_labels))
+    if n_shards <= 1:
+        return [relation]
+    shards = []
+    for chunk in np.array_split(np.arange(n_labels), n_shards):
+        shards.append(
+            relation.take((positions >= chunk[0]) & (positions <= chunk[-1]))
+        )
+    return shards
+
+
+def _build_shard_cube(payload: tuple) -> ExplanationCube:
+    """Worker entry point: build one shard's appendable cube.
+
+    Module-level so it pickles into ``ProcessPoolExecutor`` workers; the
+    payload is a plain tuple for the same reason.
+    """
+    (
+        relation,
+        explain_by,
+        measure,
+        aggregate,
+        time_attr,
+        max_order,
+        deduplicate,
+        columnar,
+    ) = payload
+    return ExplanationCube(
+        relation,
+        explain_by,
+        measure,
+        aggregate=aggregate,
+        time_attr=time_attr,
+        max_order=max_order,
+        deduplicate=deduplicate,
+        columnar=columnar,
+        appendable=True,
+    )
+
+
+@dataclass
+class ShardBuildReport:
+    """What the last :meth:`ShardedBuilder.build` actually did."""
+
+    n_shards: int = 1
+    n_workers: int = 1
+    parallel: bool = False
+    cache_hit: bool = False
+    build_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    shard_rows: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.merge_seconds
+
+
+class ShardedBuilder:
+    """Build explanation cubes from time shards, in parallel when possible.
+
+    Parameters
+    ----------
+    n_shards:
+        Time shards to split cold relations into; ``None`` means one
+        shard per worker.  Clamped to the number of distinct time labels.
+    max_workers:
+        Worker processes (default: CPU count minus one, at least 1).
+        ``1`` disables the process pool entirely — shards still build and
+        merge, just serially, which is the bit-identity reference path.
+    min_rows_per_shard:
+        Relations smaller than ``n_shards * min_rows_per_shard`` rows are
+        built one-shot: for tiny inputs the pickle/spawn overhead dwarfs
+        the build itself.
+    """
+
+    def __init__(
+        self,
+        n_shards: int | None = None,
+        max_workers: int | None = None,
+        min_rows_per_shard: int = 512,
+    ):
+        self._max_workers = max_workers or default_workers()
+        self._n_shards = n_shards if n_shards is not None else self._max_workers
+        self._min_rows_per_shard = min_rows_per_shard
+        self.last_report = ShardBuildReport()
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        relation: Relation,
+        explain_by: Sequence[str],
+        measure: str,
+        aggregate: str = "sum",
+        time_attr: str | None = None,
+        max_order: int = 3,
+        deduplicate: bool = True,
+        columnar: bool = True,
+        cache: RollupCache | None = None,
+    ) -> ExplanationCube:
+        """The cube for this query, shard-built and cache-integrated.
+
+        Convenience form of :meth:`build_with_report` for single-threaded
+        callers; the per-call report is also published as ``last_report``.
+        """
+        cube, self.last_report = self.build_with_report(
+            relation,
+            explain_by,
+            measure,
+            aggregate=aggregate,
+            time_attr=time_attr,
+            max_order=max_order,
+            deduplicate=deduplicate,
+            columnar=columnar,
+            cache=cache,
+        )
+        return cube
+
+    def build_with_report(
+        self,
+        relation: Relation,
+        explain_by: Sequence[str],
+        measure: str,
+        aggregate: str = "sum",
+        time_attr: str | None = None,
+        max_order: int = 3,
+        deduplicate: bool = True,
+        columnar: bool = True,
+        cache: RollupCache | None = None,
+    ) -> tuple[ExplanationCube, ShardBuildReport]:
+        """The cube for this query plus what the build actually did.
+
+        With a ``cache``, the full-relation key is looked up first and the
+        merged cube is stored under it afterwards — the sharded build
+        feeds the *same* rollup entries a one-shot
+        :func:`~repro.cube.cache.load_or_build` would, because the bytes
+        are identical.  The report is returned (not stored), so builders
+        shared across threads — the registry builds different datasets
+        concurrently — never read another build's outcome.
+        """
+        report = ShardBuildReport(n_workers=self._max_workers)
+        if cache is not None and not isinstance(aggregate, str):
+            # Same guard as load_or_build: the cache key stores only the
+            # aggregate *name*, so an off-registry AggregateFunction
+            # instance could store a cube that shadows a registered
+            # aggregate's entry.  Build uncached instead.
+            cache = None
+        key = None
+        if cache is not None:
+            key = cube_key(
+                relation,
+                measure,
+                explain_by,
+                aggregate=aggregate,
+                time_attr=time_attr,
+                max_order=max_order,
+                deduplicate=deduplicate,
+            )
+            cached = cache.load(key)
+            if cached is not None:
+                report.cache_hit = True
+                return cached, report
+
+        started = time.perf_counter()
+        shards = self._shards_for(relation, time_attr)
+        report.n_shards = len(shards)
+        report.shard_rows = tuple(shard.n_rows for shard in shards)
+        payloads = [
+            (
+                shard,
+                tuple(explain_by),
+                measure,
+                aggregate,
+                time_attr,
+                max_order,
+                deduplicate,
+                columnar,
+            )
+            for shard in shards
+        ]
+        if len(shards) == 1:
+            cubes = [_build_shard_cube(payloads[0])]
+        else:
+            cubes, report.parallel = self._build_all(payloads)
+        report.build_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        cube = cubes[0] if len(cubes) == 1 else merge_shard_cubes(cubes)
+        report.merge_seconds = time.perf_counter() - started
+
+        if cache is not None and key is not None:
+            try:
+                cache.store(key, cube)
+            except (TypeError, OSError):
+                # Same degradation contract as load_or_build: an
+                # unpersistable entry never fails the build.
+                pass
+        return cube, report
+
+    # ------------------------------------------------------------------
+    def _shards_for(
+        self, relation: Relation, time_attr: str | None
+    ) -> list[Relation]:
+        n_shards = self._n_shards
+        if relation.n_rows < n_shards * self._min_rows_per_shard:
+            n_shards = 1
+        return split_time_shards(relation, time_attr, n_shards)
+
+    def _build_all(
+        self, payloads: list[tuple]
+    ) -> tuple[list[ExplanationCube], bool]:
+        """Build every shard cube, in processes when the platform allows."""
+        if self._max_workers > 1:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self._max_workers, len(payloads))
+                ) as pool:
+                    return list(pool.map(_build_shard_cube, payloads)), True
+            except Exception:
+                # Process pools can fail wholesale in restricted
+                # environments (no fork/spawn, sandboxed fds) or on
+                # unpicklable payloads; bit-identity must not depend on
+                # any of that, so fall back to the serial reference path.
+                pass
+        return [_build_shard_cube(payload) for payload in payloads], False

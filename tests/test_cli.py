@@ -220,3 +220,38 @@ def test_cache_build_reports_store_failure(capsys, csv_path, tmp_path, monkeypat
     assert code == 1
     assert "NOT stored" in err
     assert "built and stored" not in out
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out.strip() == f"repro {__version__}"
+
+
+def test_serve_parser_accepts_options():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        [
+            "serve",
+            "--port", "0",
+            "--datasets", "covid-total,sp500",
+            "--memory-budget-mb", "256",
+            "--ttl", "300",
+            "--query-workers", "4",
+            "--build-shards", "4",
+            "--max-requests", "10",
+        ]
+    )
+    assert args.port == 0 and args.build_shards == 4
+    assert args.handler.__name__ == "_command_serve"
+
+
+def test_serve_rejects_unknown_dataset(capsys):
+    code = main(["serve", "--datasets", "no-such-dataset", "--port", "0"])
+    assert code == 2
+    assert "unknown dataset" in capsys.readouterr().err

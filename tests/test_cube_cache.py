@@ -396,3 +396,96 @@ def test_unwritable_cache_dir_degrades_to_uncached(tmp_path):
         assert not hit and cube.n_explanations > 0
     finally:
         locked.chmod(0o700)
+
+
+# ----------------------------------------------------------------------
+# Cross-process racers: store/load/clear from two processes at once
+# ----------------------------------------------------------------------
+_RACER_SCRIPT = """
+import sys, shutil, traceback
+sys.path.insert(0, {src!r})
+from repro.cube.cache import RollupCache, cube_key
+from repro.cube.datacube import ExplanationCube
+from repro.relation.schema import Schema
+from repro.relation.table import Relation
+
+directory = {directory!r}
+role = {role!r}
+
+def relation(shift):
+    rows = {{"t": [], "cat": [], "m": []}}
+    for t in range(6):
+        for cat in ("a", "b"):
+            rows["t"].append(f"t{{t}}")
+            rows["cat"].append(cat)
+            rows["m"].append(float(t * 2 + shift + (1 if cat == "a" else 0)))
+    schema = Schema.build(dimensions=["cat"], measures=["m"], time="t")
+    return Relation(rows, schema)
+
+try:
+    cache = RollupCache(directory, max_entries=2)
+    pairs = []
+    for shift in range(3):
+        rel = relation(shift)
+        pairs.append(
+            (cube_key(rel, "m", ["cat"]), ExplanationCube(rel, ["cat"], "m"))
+        )
+    for round_ in range(40):
+        key, cube = pairs[round_ % len(pairs)]
+        cache.store(key, cube)  # also exercises LRU eviction (max_entries=2)
+        loaded = cache.load(key)
+        # A racer may clear between store and load; both outcomes are
+        # legal, but a loaded cube must be complete and correct.
+        if loaded is not None:
+            assert loaded.explanations == cube.explanations
+            assert loaded.included_values.tobytes() == cube.included_values.tobytes()
+        cache.entries()
+        if role == "destroyer" and round_ % 5 == 4:
+            cache.clear()
+        if role == "destroyer" and round_ % 11 == 10:
+            # Harsher than clear(): remove the directory itself, which
+            # store() must survive by re-creating it and retrying.
+            shutil.rmtree(directory, ignore_errors=True)
+except Exception:
+    traceback.print_exc()
+    sys.exit(1)
+sys.exit(0)
+"""
+
+
+def test_two_process_store_clear_race(tmp_path):
+    """Two processes hammering store/load/clear/rmtree never corrupt or crash.
+
+    Regression test for the cross-process hardening: stores are atomic
+    (temp file + rename) and retry once when a concurrent clear() — or an
+    outright directory removal — yanks the cache out from under them;
+    loads and entries() treat vanished files as misses, never as errors.
+    """
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    directory = str(tmp_path / "shared-cache")
+    processes = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                _RACER_SCRIPT.format(src=src, directory=directory, role=role),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for role in ("storer", "destroyer")
+    ]
+    outputs = [process.communicate(timeout=120) for process in processes]
+    for process, (out, err) in zip(processes, outputs):
+        assert process.returncode == 0, f"racer failed:\n{out}\n{err}"
+    # The cache is still fully usable afterwards.
+    cache = RollupCache(directory)
+    relation = regime_relation()
+    key = cube_key(relation, "sales", ["cat"])
+    cache.store(key, ExplanationCube(relation, ["cat"], "sales"))
+    assert cache.load(key) is not None
