@@ -3,8 +3,11 @@
 Commands
 --------
 ``explain``
-    Run TSExplain on a bundled dataset or a CSV file and print the
-    evolving explanations.  With ``--follow`` the CSV is tailed like
+    Run TSExplain on a bundled dataset, a CSV file, or any
+    :mod:`repro.store` source URI (``--source csv:…|npz:…|sqlite:…``) and
+    print the evolving explanations.  ``--out-of-core`` builds the cube
+    chunk-by-chunk from the source, so the full relation is never
+    resident.  With ``--follow`` the CSV is tailed like
     ``tail -f``: newly appended rows are parsed incrementally (O(delta)
     per poll, byte-offset tailing — no re-read of the whole file) and fed
     to a :class:`~repro.core.streaming.StreamingExplainer`, which appends
@@ -22,6 +25,11 @@ Commands
     Prewarmed entries are keyed on the *full* relation and serve every
     ``explain`` over it — including windowed ``--start/--stop`` runs,
     which slice the prepared cube instead of rebuilding one.
+``store``
+    Inspect a data source (schema discovery, row count, chunk safety,
+    cheap content fingerprint) or ``convert`` it between backends —
+    e.g. CSV to the memory-mapped ``npz`` columnar snapshot, or into a
+    SQLite table for pushdown queries.
 ``serve``
     Start the concurrent JSON-over-HTTP serving tier
     (:mod:`repro.serve`): many datasets behind a memory-budget + TTL
@@ -45,7 +53,15 @@ Examples
     python -m repro cache clear --cache-dir ./cube-cache
     python -m repro explain --csv live.csv --time day \\
         --dimensions region --measure revenue --follow --poll-interval 2
-    python -m repro serve --datasets covid-total,sp500 --port 8765 \\
+    python -m repro store convert \\
+        'csv:sales.csv?time=day&dims=region,channel&measure=revenue' \\
+        npz:sales.npz
+    python -m repro store inspect npz:sales.npz
+    python -m repro explain --source npz:sales.npz --out-of-core \\
+        --chunk-rows 100000 --cache-dir ./cube-cache
+    python -m repro explain \\
+        --source "sqlite:sales.db?table=sales&time=day&dims=region&measure=revenue&where=region='EU'"
+    python -m repro serve --datasets covid-total,npz:sales.npz --port 8765 \\
         --cache-dir ./cube-cache --build-shards 4
     curl 'http://127.0.0.1:8765/explain?dataset=covid-total'
 """
@@ -72,6 +88,14 @@ from repro.exceptions import ReproError, SchemaError
 from repro.relation.csvio import coerce_csv_columns, read_csv
 from repro.relation.schema import Schema
 from repro.relation.table import Relation
+from repro.store import (
+    SOURCE_SCHEMES,
+    convert,
+    dataset_from_source,
+    is_source_uri,
+    resolve_source,
+    split_list,
+)
 from repro.viz.report import explanation_table, full_report, segment_sparklines
 
 
@@ -79,9 +103,15 @@ def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
     source = parser.add_argument_group("data source (pick one)")
     source.add_argument("--dataset", help="bundled dataset name")
     source.add_argument("--csv", help="path to a CSV file")
-    source.add_argument("--time", help="time column (CSV source)")
     source.add_argument(
-        "--dimensions", help="comma-separated dimension columns (CSV source)"
+        "--source",
+        help="data-source URI: csv:path, npz:path or sqlite:path?table=t "
+        "(see docs/ARCHITECTURE.md for the grammar and pushdown params)",
+    )
+    source.add_argument("--time", help="time column (CSV/URI sources)")
+    source.add_argument(
+        "--dimensions",
+        help="comma-separated dimension columns (CSV/URI sources)",
     )
     source.add_argument("--measure", help="measure column")
     source.add_argument(
@@ -91,9 +121,75 @@ def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
     source.add_argument("--aggregate", default=None, help="aggregate function (default sum)")
 
 
+def _split_names(text: str | None) -> list[str]:
+    return list(split_list(text))
+
+
+def _split_dataset_names(entries: "Sequence[str] | None") -> list[str]:
+    """Flatten repeated ``serve --datasets`` values into dataset names.
+
+    A flag value that is itself one valid entry — a bundled dataset name
+    or a source URI — is taken whole, commas and all; repeating the flag
+    once per dataset is therefore always unambiguous.  Any other value
+    is treated as a comma-separated list.  Source URIs can contain
+    commas inside query parameters (``...&dims=region,channel&...``), so
+    within a list a fragment that does not start a new entry is rejoined
+    onto the previous one; that heuristic can mis-split when such a
+    fragment *looks like* an entry (a dimension value named like a
+    bundled dataset, or ending in ``.csv``) — use one flag per dataset,
+    or percent-encode the comma as ``%2C``, when it bites.
+    """
+    known = set(available_datasets())
+
+    def single_entry(value: str) -> bool:
+        if value in known:
+            return True
+        if not is_source_uri(value):
+            return False
+        # A comma-bearing value only counts as ONE entry when it names an
+        # explicit scheme — extension inference would otherwise swallow a
+        # whole list ending in e.g. `.db?...`.
+        return "," not in value or value.partition(":")[0] in SOURCE_SCHEMES
+
+    names: list[str] = []
+    for value in entries or ():
+        value = value.strip()
+        if not value:
+            continue
+        if single_entry(value):
+            names.append(value)
+            continue
+        start = len(names)
+        for fragment in _split_names(value):
+            if (
+                len(names) > start
+                and fragment not in known
+                and not is_source_uri(fragment)
+            ):
+                names[-1] = f"{names[-1]},{fragment}"
+            else:
+                names.append(fragment)
+    return names
+
+
+def _resolve_cli_source(args: argparse.Namespace):
+    """Resolve ``--source`` with the role flags layered over URI params."""
+    return resolve_source(
+        args.source,
+        dimensions=_split_names(args.dimensions),
+        measures=[args.measure] if args.measure else (),
+        time=args.time,
+    )
+
+
+def _require_one_source(args: argparse.Namespace) -> None:
+    picked = [flag for flag in (args.dataset, args.csv, args.source) if flag]
+    if len(picked) != 1:
+        raise ReproError("specify exactly one of --dataset, --csv or --source")
+
+
 def _load_source(args: argparse.Namespace) -> Dataset:
-    if bool(args.dataset) == bool(args.csv):
-        raise ReproError("specify exactly one of --dataset or --csv")
+    _require_one_source(args)
     if args.dataset:
         dataset = load_dataset(args.dataset)
         if args.measure:
@@ -108,9 +204,11 @@ def _load_source(args: argparse.Namespace) -> Dataset:
                 extras=dataset.extras,
             )
         return dataset
+    if args.source:
+        return dataset_from_source(_resolve_cli_source(args), aggregate=args.aggregate)
     if not (args.time and args.dimensions and args.measure):
         raise ReproError("--csv requires --time, --dimensions and --measure")
-    dimensions = [name.strip() for name in args.dimensions.split(",") if name.strip()]
+    dimensions = _split_names(args.dimensions)
     relation = read_csv(
         args.csv, dimensions=dimensions, measures=[args.measure], time=args.time
     )
@@ -129,7 +227,7 @@ def _explain_by(args: argparse.Namespace, dataset: Dataset) -> tuple[str, ...]:
     return dataset.explain_by
 
 
-def _build_config(args: argparse.Namespace, dataset: Dataset) -> ExplainConfig:
+def _build_config(args: argparse.Namespace, dataset: Dataset | None = None) -> ExplainConfig:
     if args.vanilla:
         config = ExplainConfig.vanilla()
     else:
@@ -144,7 +242,7 @@ def _build_config(args: argparse.Namespace, dataset: Dataset) -> ExplainConfig:
     if args.variant is not None:
         overrides["variant"] = args.variant
     smoothing = args.smoothing
-    if smoothing is None:
+    if smoothing is None and dataset is not None:
         smoothing = dataset.smoothing_window
     if smoothing is not None and smoothing > 1:
         overrides["smoothing_window"] = smoothing
@@ -180,13 +278,50 @@ def _print_result(args: argparse.Namespace, result) -> None:
 
 
 def _command_explain(args: argparse.Namespace) -> int:
+    # Validated up front so the --follow/--out-of-core branches cannot
+    # silently ignore a conflicting --dataset/--csv flag.
+    _require_one_source(args)
     if args.follow:
         return _follow_explain(args)
+    if args.out_of_core:
+        return _out_of_core_explain(args)
     dataset = _load_source(args)
     config = _build_config(args, dataset)
     session = _session(args, dataset, config)
     result = session.query().window(args.start, args.stop).run()
     _print_result(args, result)
+    return 0
+
+
+def _out_of_core_explain(args: argparse.Namespace) -> int:
+    """``explain --source URI --out-of-core``: bounded-memory ingestion.
+
+    The cube streams out of the source chunk-by-chunk (or straight out of
+    the source-keyed rollup cache when ``--cache-dir`` holds a warm
+    entry); the relation is never materialized whole.
+    """
+    if not args.source:
+        raise ReproError("--out-of-core requires --source")
+    source = _resolve_cli_source(args)
+    session = ExplainSession.from_source(
+        source,
+        explain_by=_split_names(args.explain_by) or None,
+        aggregate=args.aggregate,
+        config=_build_config(args),
+        chunk_rows=args.chunk_rows,
+    )
+    result = session.query().window(args.start, args.stop).run()
+    _print_result(args, result)
+    report = session.ingest_report
+    if report is not None:
+        if report.cache_hit:
+            print("ingest: served from the rollup cache (source untouched)")
+        else:
+            print(
+                f"ingest: {report.rows} rows in {report.chunks} chunk(s), "
+                f"peak chunk {report.peak_chunk_rows} rows, "
+                f"{'out-of-core' if report.out_of_core else 'one-shot fallback'}"
+            )
     return 0
 
 
@@ -249,7 +384,7 @@ def _follow_explain(args: argparse.Namespace) -> int:
         raise ReproError("--follow requires --csv (bundled datasets are static)")
     if not (args.time and args.dimensions and args.measure):
         raise ReproError("--csv requires --time, --dimensions and --measure")
-    dimensions = [name.strip() for name in args.dimensions.split(",") if name.strip()]
+    dimensions = _split_names(args.dimensions)
     path = args.csv
 
     # tail -f semantics: a just-created file may not have its header (or
@@ -267,6 +402,15 @@ def _follow_explain(args: argparse.Namespace) -> int:
     missing = set(dimensions + [args.measure, args.time]) - set(fieldnames)
     if missing:
         raise SchemaError(f"CSV {path} lacks columns {sorted(missing)}")
+    duplicated = [
+        name
+        for name in dimensions + [args.measure, args.time]
+        if fieldnames.count(name) > 1
+    ]
+    if duplicated:
+        raise SchemaError(
+            f"CSV {path} header repeats needed column(s) {duplicated}"
+        )
     initial = _rows_to_relation(
         lines[1] if len(lines) > 1 else b"",
         fieldnames,
@@ -417,6 +561,44 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 1
 
 
+def _command_store(args: argparse.Namespace) -> int:
+    source = resolve_source(
+        args.source_uri,
+        dimensions=_split_names(args.dimensions),
+        measures=[args.measure] if args.measure else (),
+        time=args.time,
+        # inspect is schema *discovery*: it must work on a file whose
+        # roles the user does not know yet.
+        require_binding=args.action != "inspect",
+    )
+    if args.action == "convert":
+        if not args.dest:
+            raise ReproError("store convert needs a destination URI")
+        path, rows = convert(source, args.dest)
+        print(f"wrote {rows} rows from {source.uri} to {path}")
+        return 0
+    # action == "inspect": schema discovery + cheap identity, no
+    # materialization beyond what the backend needs for counting.
+    print(f"uri:         {source.uri}")
+    print(f"scheme:      {source.scheme}")
+    available = source.column_names()
+    bound = {name: source.schema.attribute(name).kind.value for name in source.schema.names}
+    print(
+        "columns:     "
+        + ", ".join(
+            f"{name}:{bound[name]}" if name in bound else f"{name}:(unbound)"
+            for name in available
+        )
+    )
+    rows = source.count_rows()
+    print(f"rows:        {rows if rows is not None else 'unknown (lazy scan)'}")
+    chunk_safe = getattr(source, "chunk_safe", None)
+    if chunk_safe is not None:
+        print(f"chunk-safe:  {'yes' if chunk_safe else 'no (out-of-core degrades to one-shot)'}")
+    print(f"fingerprint: {source.fingerprint()}")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     # Imported here so plain explain/diff runs never pay the serving
     # tier's import (thread pools, http.server).
@@ -424,12 +606,22 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     names = None
     if args.datasets:
-        names = [name.strip() for name in args.datasets.split(",") if name.strip()]
+        names = _split_dataset_names(args.datasets)
         known = set(available_datasets())
-        unknown = [name for name in names if name not in known]
+        unknown = []
+        for name in names:
+            if name in known:
+                continue
+            if is_source_uri(name):
+                # Resolve eagerly (cheap, no IO): a malformed URI must
+                # fail at startup, not 400 every request after binding.
+                resolve_source(name)
+                continue
+            unknown.append(name)
         if unknown:
             raise ReproError(
-                f"unknown dataset(s) {unknown}; available: {sorted(known)}"
+                f"unknown dataset(s) {unknown}; available: {sorted(known)} "
+                "(or csv:/npz:/sqlite: source URIs)"
             )
     app = make_app(
         datasets=names,
@@ -510,6 +702,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate order threshold beta_max (default 3); must match any "
         "`cache build --max-order` prewarm for the cache to hit",
     )
+    storage = explain.add_argument_group("out-of-core ingestion (--source only)")
+    storage.add_argument(
+        "--out-of-core",
+        action="store_true",
+        help="build the cube chunk-by-chunk from the source (peak relation "
+        "residency bounded by --chunk-rows; byte-identical to in-memory)",
+    )
+    storage.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="rows per ingestion chunk (default 100000)",
+    )
     follow = explain.add_argument_group("streaming (--csv sources only)")
     follow.add_argument(
         "--follow",
@@ -560,6 +765,28 @@ def build_parser() -> argparse.ArgumentParser:
     datasets = commands.add_parser("datasets", help="list bundled datasets")
     datasets.set_defaults(handler=_command_datasets)
 
+    store = commands.add_parser(
+        "store", help="inspect and convert pluggable data sources"
+    )
+    store.add_argument(
+        "action",
+        choices=("convert", "inspect"),
+        help="convert: rewrite a source under another backend; "
+        "inspect: schema, row count, chunk safety, fingerprint",
+    )
+    store.add_argument(
+        "source_uri", help="source URI (csv:/npz:/sqlite:, or a bare path)"
+    )
+    store.add_argument(
+        "dest",
+        nargs="?",
+        help="destination URI for convert (npz:out.npz, sqlite:out.db?table=t, csv:out.csv)",
+    )
+    store.add_argument("--time", help="time column (csv/sqlite sources)")
+    store.add_argument("--dimensions", help="comma-separated dimension columns")
+    store.add_argument("--measure", help="measure column")
+    store.set_defaults(handler=_command_store)
+
     serve = commands.add_parser(
         "serve", help="start the concurrent JSON-over-HTTP serving tier"
     )
@@ -572,7 +799,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--datasets",
-        help="comma-separated bundled dataset names to serve (default: all)",
+        action="append",
+        help="dataset names and/or source URIs to serve, comma-separated; "
+        "repeat the flag for entries whose URIs contain ambiguous commas "
+        "(default: all bundled datasets)",
     )
     serve.add_argument(
         "--cache-dir",

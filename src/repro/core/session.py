@@ -31,7 +31,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Hashable, Sequence
+from typing import TYPE_CHECKING, Callable, Hashable, Sequence
 
 import numpy as np
 
@@ -48,6 +48,10 @@ from repro.exceptions import QueryError
 from repro.relation.groupby import aggregate_over_time
 from repro.relation.table import Relation
 from repro.relation.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.base import DataSource
+    from repro.store.ingest import IngestReport
 
 #: Derived (sliced/smoothed/filtered) scorers kept per session by default.
 DEFAULT_SCORER_CACHE_SIZE = 32
@@ -110,7 +114,13 @@ class ExplainSession:
     ----------
     relation:
         The base relation ``R``; the session binds to it (and its cube)
-        for its whole lifetime.
+        for its whole lifetime.  A zero-argument callable returning the
+        relation is also accepted: the session then materializes it
+        lazily, on the first operation that actually needs rows —
+        :meth:`from_source` uses this so a cache-served or out-of-core
+        prepared session never ingests the relation at all.  Lazy
+        sessions must name ``explain_by`` and ``time_attr`` explicitly
+        (there is no schema to default from without materializing).
     measure:
         Measure attribute ``M`` of the aggregate query.
     explain_by:
@@ -138,7 +148,7 @@ class ExplainSession:
 
     def __init__(
         self,
-        relation: Relation,
+        relation: "Relation | Callable[[], Relation]",
         measure: str,
         explain_by: Sequence[str] | None = None,
         aggregate: str = "sum",
@@ -151,17 +161,28 @@ class ExplainSession:
             config = config.updated(**config_overrides)
         elif config is None:
             config = ExplainConfig(**config_overrides)
-        if explain_by is None:
-            explain_by = relation.schema.dimension_names()
         if scorer_cache_size < 1:
             raise QueryError(
                 f"scorer_cache_size must be >= 1, got {scorer_cache_size}"
             )
-        self._relation = relation
+        if callable(relation):
+            self._relation_thunk: Callable[[], Relation] | None = relation
+            self._relation: Relation | None = None
+            if explain_by is None or time_attr is None:
+                raise QueryError(
+                    "a lazily-materialized relation needs explicit "
+                    "explain_by and time_attr (no schema to default from)"
+                )
+        else:
+            self._relation_thunk = None
+            self._relation = relation
+            if explain_by is None:
+                explain_by = relation.schema.dimension_names()
         self._measure = measure
         self._explain_by = tuple(explain_by)
         self._aggregate = aggregate
-        self._time_attr = time_attr or relation.schema.require_time()
+        assert self._relation is not None or time_attr is not None
+        self._time_attr = time_attr or self._relation.schema.require_time()
         self._config = config
         self._cube: ExplanationCube | None = None
         self._series: TimeSeries | None = None
@@ -179,6 +200,109 @@ class ExplainSession:
         # semantics: N threads racing the first query trigger exactly one
         # cube build.
         self._lock = threading.RLock()
+        self._ingest_report: "IngestReport | None" = None
+
+    # ------------------------------------------------------------------
+    # Construction from data sources (repro.store)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_source(
+        cls,
+        source: "DataSource | str",
+        measure: str | None = None,
+        explain_by: Sequence[str] | None = None,
+        aggregate: str | None = None,
+        time_attr: str | None = None,
+        config: ExplainConfig | None = None,
+        chunk_rows: int | None = None,
+        out_of_core: bool = True,
+        scorer_cache_size: int = DEFAULT_SCORER_CACHE_SIZE,
+        **config_overrides,
+    ) -> "ExplainSession":
+        """A prepared session over a :mod:`repro.store` data source.
+
+        ``source`` is a :class:`~repro.store.DataSource` or a source URI
+        (``csv:…`` / ``npz:…`` / ``sqlite:…``); query defaults come from
+        its binding (first measure, all dimensions, the URI's aggregate).
+        The prepare tier runs immediately, source-shaped:
+
+        * with a ``cache_dir`` configured, the rollup cache is checked
+          under the **source fingerprint** first — a hit installs the
+          stored cube without ingesting a single row;
+        * on a miss the cube is built **out-of-core**: chunks of
+          ``chunk_rows`` rows stream through the append ledger, so peak
+          relation residency stays bounded by the chunk size while the
+          result is bit-identical to an in-memory build (sources whose
+          chunk order violates the append contract degrade to one-shot).
+
+        The relation itself stays lazy: operations that need rows
+        (:meth:`recommend`, :meth:`append`, prepare-tier config
+        overrides) materialize it via ``source.read()`` on first use —
+        check :attr:`relation_loaded`, and :attr:`ingest_report` for what
+        the prepare actually did.
+        """
+        from repro.cube.cache import RollupCache
+        from repro.store.base import DEFAULT_CHUNK_ROWS
+        from repro.store.ingest import load_or_build_from_source
+        from repro.store.uri import resolve_source
+
+        source = resolve_source(source)
+        schema = source.schema
+        if measure is None:
+            measures = schema.measure_names()
+            if not measures:
+                raise QueryError(f"source {source.uri} binds no measure column")
+            measure = measures[0]
+        explain_by = tuple(explain_by) if explain_by else schema.dimension_names()
+        aggregate = aggregate or source.default_aggregate
+        time_attr = time_attr or schema.require_time()
+        session = cls(
+            source.read,
+            measure=measure,
+            explain_by=explain_by,
+            aggregate=aggregate,
+            time_attr=time_attr,
+            config=config,
+            scorer_cache_size=scorer_cache_size,
+            **config_overrides,
+        )
+        config = session.config
+        cache = (
+            RollupCache(config.cache_dir, max_entries=config.cache_max_entries)
+            if config.cache_dir
+            else None
+        )
+        started = time.perf_counter()
+        cube, report = load_or_build_from_source(
+            cache,
+            source,
+            explain_by,
+            measure,
+            aggregate=aggregate,
+            time_attr=time_attr,
+            max_order=config.max_order,
+            deduplicate=config.deduplicate,
+            columnar=config.columnar,
+            chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS,
+            out_of_core=out_of_core,
+        )
+        session.adopt_snapshot(
+            # The one-shot fallback already paid for the full relation;
+            # adopt it rather than re-ingesting on the first recommend()/
+            # append().  Out-of-core and cache-hit prepares pass None and
+            # stay lazy.
+            report.relation,
+            cube,
+            cache_hit=report.cache_hit if cache is not None else None,
+            prepare_seconds=time.perf_counter() - started,
+        )
+        session._ingest_report = report
+        return session
+
+    @property
+    def ingest_report(self) -> "IngestReport | None":
+        """How :meth:`from_source` prepared this session (else ``None``)."""
+        return self._ingest_report
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,7 +313,25 @@ class ExplainSession:
 
     @property
     def relation(self) -> Relation:
-        return self._relation
+        """The base relation, materializing a lazy one on first access."""
+        with self._lock:
+            if self._relation is None:
+                if self._relation_thunk is None:
+                    raise QueryError("session has no relation bound")
+                self._relation = self._relation_thunk()
+            return self._relation
+
+    @property
+    def relation_loaded(self) -> bool:
+        """Whether the base relation is materialized (never triggers IO).
+
+        ``False`` only for :meth:`from_source` sessions whose cube came
+        from the rollup cache or the out-of-core build and that have not
+        yet needed rows; consumers that merely *report* (the serving
+        tier's ``/datasets``) check this instead of forcing an ingest.
+        """
+        with self._lock:
+            return self._relation is not None
 
     @property
     def measure(self) -> str:
@@ -242,7 +384,7 @@ class ExplainSession:
                 return self
             started = time.perf_counter()
             cube, hit = prepare_cube(
-                self._relation,
+                self.relation,
                 self._measure,
                 self._explain_by,
                 self._aggregate,
@@ -274,7 +416,7 @@ class ExplainSession:
                 if self._series is None:
                     self._series = self._cube.overall_series()
                 return self._series
-            relation = self._relation
+            relation = self.relation
         return aggregate_over_time(
             relation, self._measure, self._aggregate, self._time_attr
         )
@@ -312,7 +454,7 @@ class ExplainSession:
             return self._append_locked(delta)
 
     def _append_locked(self, delta: Relation) -> AppendInfo | None:
-        new_relation = self._relation.concat(delta)
+        new_relation = self.relation.concat(delta)
         info: AppendInfo | None = None
         if self._cube is not None and self._cube.appendable:
             started = time.perf_counter()
@@ -341,7 +483,7 @@ class ExplainSession:
 
     def adopt_snapshot(
         self,
-        relation: Relation,
+        relation: Relation | None,
         cube: ExplanationCube,
         cache_hit: bool | None = True,
         prepare_seconds: float = 0.0,
@@ -355,7 +497,10 @@ class ExplainSession:
         dropped.  ``cache_hit`` defaults to ``True`` (the fast-forward
         semantics); the serving tier's sharded cold build passes its real
         outcome instead, together with the ``prepare_seconds`` it spent,
-        so latency reporting stays truthful.
+        so latency reporting stays truthful.  ``relation=None`` keeps the
+        current binding — :meth:`from_source` installs an out-of-core or
+        cache-served cube this way without materializing the (lazy)
+        relation.
         """
         if (
             cube.measure != self._measure
@@ -366,7 +511,8 @@ class ExplainSession:
                 "adopted cube was built for a different query than this session"
             )
         with self._lock:
-            self._relation = relation
+            if relation is not None:
+                self._relation = relation
             self._cube = cube
             self._scorers.clear()
             self._series = None
@@ -479,7 +625,7 @@ class ExplainSession:
             getattr(config, field) != getattr(self._config, field)
             for field in PREPARE_FIELDS
         ):
-            relation = window_relation(self._relation, self._time_attr, start, stop)
+            relation = window_relation(self.relation, self._time_attr, start, stop)
             return ExplainPipeline(
                 relation,
                 self._measure,
@@ -599,7 +745,7 @@ class ExplainSession:
         session's own prepared cube.
         """
         return recommend_explain_by(
-            self._relation,
+            self.relation,
             self._measure,
             candidates=candidates,
             aggregate=self._aggregate,
@@ -614,9 +760,14 @@ class ExplainSession:
 
     def __repr__(self) -> str:
         state = "prepared" if self.prepared else "unprepared"
+        rows = (
+            f"{self._relation.n_rows} rows"
+            if self._relation is not None
+            else "relation unmaterialized"
+        )
         return (
             f"ExplainSession({self._measure} by {list(self._explain_by)}, "
-            f"{self._relation.n_rows} rows, {state}, "
+            f"{rows}, {state}, "
             f"{len(self._scorers)} cached scorer(s))"
         )
 

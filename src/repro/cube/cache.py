@@ -105,6 +105,37 @@ class CubeKey:
         return hashlib.sha256(repr(asdict(self)).encode("utf-8")).hexdigest()
 
 
+def cube_key_for_fingerprint(
+    fingerprint: str,
+    measure: str,
+    explain_by: Sequence[str],
+    aggregate: str | AggregateFunction = "sum",
+    time_attr: str = "",
+    max_order: int = 3,
+    deduplicate: bool = True,
+) -> CubeKey:
+    """A :class:`CubeKey` with the data component supplied directly.
+
+    Normalizes the query parameters exactly like :func:`cube_key` (the
+    aggregate resolves to its registry name, ``explain_by`` is sorted)
+    but takes the fingerprint as a string, so keys can be derived without
+    a materialized relation — :mod:`repro.store` keys out-of-core builds
+    by a *source* fingerprint (``src-…``), and the streaming chain keys
+    (:func:`chain_fingerprint`) live in the same namespace.
+    """
+    if isinstance(aggregate, str):
+        aggregate = get_aggregate(aggregate)
+    return CubeKey(
+        fingerprint=fingerprint,
+        measure=measure,
+        explain_by=tuple(sorted(explain_by)),
+        aggregate=aggregate.name,
+        time_attr=time_attr,
+        max_order=max_order,
+        deduplicate=deduplicate,
+    )
+
+
 def cube_key(
     relation: Relation,
     measure: str,
@@ -122,13 +153,11 @@ def cube_key(
     sorted (the cube sorts it too, so attribute order never splits the
     cache).
     """
-    if isinstance(aggregate, str):
-        aggregate = get_aggregate(aggregate)
-    return CubeKey(
-        fingerprint=relation.fingerprint(),
-        measure=measure,
-        explain_by=tuple(sorted(explain_by)),
-        aggregate=aggregate.name,
+    return cube_key_for_fingerprint(
+        relation.fingerprint(),
+        measure,
+        explain_by,
+        aggregate=aggregate,
         time_attr=time_attr or relation.schema.require_time(),
         max_order=max_order,
         deduplicate=deduplicate,

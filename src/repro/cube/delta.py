@@ -42,7 +42,7 @@ from typing import Hashable, Sequence, TYPE_CHECKING
 import numpy as np
 
 from repro.cube.explanations import CandidateSet, _group_rows, _python_value
-from repro.exceptions import QueryError, SchemaError
+from repro.exceptions import BackfillError, QueryError, SchemaError
 from repro.relation.aggregates import AggregateFunction
 from repro.relation.predicates import Conjunction
 from repro.relation.schema import Schema
@@ -352,7 +352,7 @@ class CubeAppendState:
                 touched.append(position)
                 continue
             if last is not None and not label > last:
-                raise QueryError(
+                raise BackfillError(
                     f"delta timestamp {label!r} precedes the cube's last "
                     f"timestamp {last!r}; appends may revisit existing "
                     "timestamps or extend the axis, never back-fill new ones"

@@ -1,4 +1,10 @@
-"""Named dataset registry used by benchmarks and examples."""
+"""Named dataset registry used by benchmarks, the CLI and the serving tier.
+
+Besides the bundled simulations, any :mod:`repro.store` source URI
+(``csv:…`` / ``npz:…`` / ``sqlite:…``, or a bare path with a recognized
+extension) resolves to a dataset, so every entry point that accepts a
+dataset name accepts a storage location too.
+"""
 
 from __future__ import annotations
 
@@ -21,17 +27,32 @@ _LOADERS: dict[str, Callable[..., Dataset]] = {
 
 
 def load_dataset(name: str, **kwargs) -> Dataset:
-    """Load a named dataset (``covid-total``, ``covid-daily``, ``sp500``,
-    ``liquor``, ``covid-deaths``)."""
+    """Load a named dataset or a data-source URI.
+
+    Bundled names: ``covid-total``, ``covid-daily``, ``sp500``,
+    ``liquor``, ``covid-deaths``.  Anything that parses as a source URI
+    (``csv:path?time=…``, ``npz:path``, ``sqlite:path?table=…``)
+    materializes through :mod:`repro.store` instead; ``kwargs`` then pass
+    through to :func:`repro.store.dataset_from_source` (``measure=``,
+    ``explain_by=``, ``aggregate=``).
+    """
+    # Imported lazily: pure bundled-dataset users never pay the storage
+    # layer's import, and repro.store must stay importable without the
+    # dataset simulations.
+    from repro.store import dataset_from_source, is_source_uri, resolve_source
+
+    if is_source_uri(name):
+        return dataset_from_source(resolve_source(name), **kwargs)
     try:
         loader = _LOADERS[name]
     except KeyError:
         raise QueryError(
-            f"unknown dataset {name!r}; available: {sorted(_LOADERS)}"
+            f"unknown dataset {name!r}; available: {sorted(_LOADERS)} "
+            "(or a csv:/npz:/sqlite: source URI)"
         ) from None
     return loader(**kwargs)
 
 
 def available_datasets() -> tuple[str, ...]:
-    """Names of all registered datasets."""
+    """Names of all registered (bundled) datasets."""
     return tuple(sorted(_LOADERS))

@@ -20,6 +20,17 @@ class QueryError(ReproError):
     """A relational operation received invalid arguments."""
 
 
+class BackfillError(QueryError):
+    """A cube append tried to back-fill a new timestamp into history.
+
+    The delta-maintenance time-axis contract (:mod:`repro.cube.delta`)
+    only lets appends revisit existing labels or extend the axis; a *new*
+    label sorting before the cube's last one raises this.  It is the one
+    error the out-of-core chunked build treats as "this source's chunk
+    order is unsafe, degrade to a one-shot build" — every other
+    :class:`QueryError` propagates."""
+
+
 class AggregateError(ReproError):
     """An aggregate function was used in an unsupported way.
 

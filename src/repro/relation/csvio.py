@@ -3,11 +3,28 @@
 Datasets in the paper are plain tables (Covid, S&P 500, Liquor); this module
 lets users load their own CSVs into a :class:`~repro.relation.table.Relation`
 and round-trip results back out, without any third-party dependency.
+
+Parsing is column-batched, never a per-cell Python loop:
+
+* **fast path** (files without quoted fields, the overwhelmingly common
+  machine-written case): the whole text is split into a flat cell list
+  with two C-level ``str`` operations, poured into one 2-D object array,
+  and sliced per column — after a vectorized per-line field-count check,
+  so a ragged row still fails loudly;
+* **general path** (quoting, embedded newlines, blank lines): the stdlib
+  ``csv.reader`` C loop collects the rows and one 2-D object-array
+  assignment transposes them.
+
+Measure columns convert to float64 in a single numpy pass per column.
+The same batched machinery backs :class:`repro.store.CsvSource`, chunked
+ingestion included.
 """
 
 from __future__ import annotations
 
 import csv
+import io
+from itertools import repeat
 from pathlib import Path
 from typing import Sequence
 
@@ -18,22 +35,164 @@ from repro.relation.schema import Schema
 from repro.relation.table import Relation
 
 
-def coerce_csv_columns(raw: dict[str, list[str]], schema: Schema) -> dict[str, np.ndarray]:
+def _first_bad_measure_cell(values) -> object:
+    """The first cell of a measure column that does not parse as a float."""
+    for value in values:
+        try:
+            float(value)
+        except (TypeError, ValueError):
+            return value
+    return None
+
+
+def coerce_csv_columns(raw: dict[str, Sequence], schema: Schema) -> dict[str, np.ndarray]:
     """Apply the CSV dtype policy to parsed string cells.
 
-    Measure columns become float64; dimension and time columns stay
-    strings (object dtype).  The one place this policy lives — both
-    :func:`read_csv` and the CLI's ``--follow`` tail parser go through
-    it, so a followed file can never coerce differently from a one-shot
-    load of the same bytes.
+    Measure columns become float64 (one vectorized numpy conversion per
+    column); dimension and time columns stay strings (object dtype).  The
+    one place this policy lives — :func:`read_csv`, the chunked
+    :class:`repro.store.CsvSource` and the CLI's ``--follow`` tail parser
+    all go through it, so a followed file can never coerce differently
+    from a one-shot load of the same bytes.  A non-numeric measure cell
+    raises :class:`~repro.exceptions.SchemaError` naming the column and
+    the offending value.
     """
     columns: dict[str, np.ndarray] = {}
     for name in schema.names:
         if schema.attribute(name).is_measure:
-            columns[name] = np.asarray([float(v) for v in raw[name]], dtype=np.float64)
+            try:
+                columns[name] = np.asarray(raw[name], dtype=np.float64)
+            except (TypeError, ValueError):
+                bad = _first_bad_measure_cell(raw[name])
+                raise SchemaError(
+                    f"measure column {name!r} has non-numeric cell {bad!r}"
+                ) from None
         else:
             columns[name] = np.asarray(raw[name], dtype=object)
     return columns
+
+
+def _columns_from_grid(
+    grid: np.ndarray, header: Sequence[str], schema: Schema
+) -> dict[str, np.ndarray]:
+    """Slice the schema's columns out of an ``(n_rows, width)`` cell grid."""
+    missing = set(schema.names) - set(header)
+    if missing:
+        raise SchemaError(f"CSV lacks columns {sorted(missing)}")
+    duplicated = [name for name in schema.names if header.count(name) > 1]
+    if duplicated:
+        # Loud beats either silent pick (DictReader took the last copy,
+        # header.index would take the first — both load wrong data).
+        raise SchemaError(
+            f"CSV header repeats needed column(s) {duplicated}; rename the "
+            "duplicates"
+        )
+    index = {name: header.index(name) for name in schema.names}
+    # .copy() detaches each kept column from the full grid, so dropped
+    # CSV columns do not stay pinned in memory through the relation.
+    raw = {name: grid[:, index[name]].copy() for name in schema.names}
+    return coerce_csv_columns(raw, schema)
+
+
+def columns_from_csv_rows(
+    rows: Sequence[Sequence[str]],
+    header: Sequence[str],
+    schema: Schema,
+    row_offset: int = 0,
+) -> dict[str, np.ndarray]:
+    """Transpose parsed CSV rows into the schema's columns.
+
+    ``rows`` is what ``csv.reader`` produced (header excluded); unnamed
+    CSV columns are dropped and blank rows are skipped (the DictReader
+    behavior this replaced).  A row whose field count differs from the
+    header's raises :class:`~repro.exceptions.SchemaError` — numpy would
+    otherwise *broadcast* a ragged row list into every cell, so the
+    length check comes first.  ``row_offset`` is how many data rows
+    preceded this batch in the file, so chunked ingestion reports
+    file-accurate row numbers.
+    """
+    width = len(header)
+    kept = []
+    for number, row in enumerate(rows):
+        if not row:
+            continue
+        if len(row) != width:
+            raise SchemaError(
+                f"CSV row {row_offset + number + 2} has {len(row)} fields "
+                f"(header has {width})"
+            )
+        kept.append(row)
+    if not kept:
+        return coerce_csv_columns({name: () for name in schema.names}, schema)
+    grid = np.empty((len(kept), width), dtype=object)
+    grid[:] = kept
+    return _columns_from_grid(grid, header, schema)
+
+
+def _fast_columns(text: str, schema: Schema) -> dict[str, np.ndarray] | None:
+    """Quote-free vectorized parse; ``None`` when the text needs ``csv``.
+
+    Without quoting, every newline is a row boundary and every comma a
+    field boundary, so the whole file splits into a flat cell list with
+    two C-level string operations.  Field counts are validated per line
+    (vectorized) before the reshape, so a ragged row raises exactly like
+    the general path; blank lines, lone carriage returns, or a
+    single-column header (where a blank line is ambiguous) defer to the
+    general path instead.
+    """
+    if '"' in text:
+        return None
+    text = text.replace("\r\n", "\n")
+    if "\r" in text:
+        return None  # classic-Mac line endings: let csv decide
+    if text.endswith("\n"):
+        text = text[:-1]
+    if not text:
+        return None
+    lines = text.split("\n")
+    width = lines[0].count(",") + 1
+    if width < 2:
+        return None
+    counts = np.fromiter(
+        map(str.count, lines, repeat(",")), dtype=np.intp, count=len(lines)
+    )
+    bad = np.flatnonzero(counts != width - 1)
+    if bad.size:
+        first = int(bad[0])
+        if not lines[first]:
+            return None  # blank line: the general path skips it
+        raise SchemaError(
+            f"CSV row {first + 1} has {counts[first] + 1} fields "
+            f"(header has {width})"
+        )
+    header = lines[0].split(",")
+    flat = text.replace("\n", ",").split(",")
+    grid = np.empty(len(flat), dtype=object)
+    grid[:] = flat
+    grid = grid.reshape(len(lines), width)
+    return _columns_from_grid(grid[1:], header, schema)
+
+
+def parse_csv_text(text: str, schema: Schema, origin: str | Path = "<text>") -> Relation:
+    """Parse CSV text into a relation under the CSV dtype policy.
+
+    Tries the vectorized quote-free fast path first, then the stdlib
+    ``csv.reader`` general path; both validate that every schema column
+    exists in the header and that no row is ragged.  ``origin`` names the
+    input in error messages.
+    """
+    try:
+        columns = _fast_columns(text, schema)
+        if columns is None:
+            reader = csv.reader(io.StringIO(text))
+            header = next(reader, None)
+            missing = set(schema.names) - set(header or ())
+            if missing:
+                raise SchemaError(f"CSV lacks columns {sorted(missing)}")
+            columns = columns_from_csv_rows(list(reader), header or [], schema)
+    except SchemaError as error:
+        raise SchemaError(f"{origin}: {error}") from None
+    return Relation(columns, schema)
 
 
 def read_csv(
@@ -49,26 +208,20 @@ def read_csv(
     unnamed CSV columns are dropped.
     """
     schema = Schema.build(dimensions=dimensions, measures=measures, time=time)
-    wanted = set(schema.names)
-    raw: dict[str, list[str]] = {name: [] for name in schema.names}
     with open(path, newline="", encoding="utf-8") as handle:
-        reader = csv.DictReader(handle)
-        header = set(reader.fieldnames or ())
-        missing = wanted - header
-        if missing:
-            raise SchemaError(f"CSV {path} lacks columns {sorted(missing)}")
-        for row in reader:
-            for name in schema.names:
-                raw[name].append(row[name])
-    return Relation(coerce_csv_columns(raw, schema), schema)
+        text = handle.read()
+    return parse_csv_text(text, schema, origin=path)
 
 
 def write_csv(relation: Relation, path: str | Path) -> None:
-    """Write a relation to a CSV file with a header row."""
+    """Write a relation to a CSV file with a header row.
+
+    Column-batched: each column is converted to Python scalars once
+    (``tolist``), one ``zip`` transposes them into row tuples, and
+    ``writer.writerows`` emits everything in a single C loop.
+    """
     names = relation.schema.names
     with open(path, "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
         writer.writerow(names)
-        columns = [relation.column(name) for name in names]
-        for i in range(relation.n_rows):
-            writer.writerow([columns[j][i] for j in range(len(names))])
+        writer.writerows(zip(*(relation.column(name).tolist() for name in names)))

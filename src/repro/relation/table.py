@@ -20,11 +20,17 @@ from repro.relation.schema import Attribute, AttributeKind, Schema
 
 
 def _as_column(values: Sequence[Any] | np.ndarray) -> np.ndarray:
-    """Normalize input values to a 1-D numpy array (floats stay float64)."""
+    """Normalize input values to a 1-D numpy array (floats stay float64).
+
+    An array already in float64 is adopted as-is (no defensive copy) —
+    that keeps memory-mapped source columns (:mod:`repro.store`) paged
+    lazily instead of being materialized on relation construction.
+    Columns are treated as immutable by convention throughout.
+    """
     array = np.asarray(values)
     if array.ndim != 1:
         raise QueryError(f"columns must be 1-D, got shape {array.shape}")
-    if array.dtype.kind == "f":
+    if array.dtype.kind == "f" and array.dtype != np.float64:
         array = array.astype(np.float64)
     return array
 

@@ -33,15 +33,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Sequence
 from urllib.parse import parse_qs, urlparse
 
+from repro.datasets.registry import available_datasets
 from repro.exceptions import QueryError, ReproError
 from repro.serve.jsonio import diff_to_json, recommend_to_json, result_to_json
-from repro.serve.registry import SessionRegistry
+from repro.serve.registry import DatasetSpec, SessionRegistry
 from repro.serve.scheduler import (
     DEFAULT_QUERY_WORKERS,
     QUERY_OVERRIDE_TYPES,
     QueryScheduler,
 )
 from repro.serve.sharding import ShardedBuilder
+from repro.store import is_source_uri
 
 #: Query-string spellings that differ from the ExplainConfig field name.
 _QS_NAME = {"smoothing_window": "smoothing", "use_filter": "filter"}
@@ -292,15 +294,25 @@ def make_app(
 ) -> ServeApp:
     """Assemble a ready-to-start :class:`ServeApp` from flat options.
 
-    ``datasets`` defaults to every bundled dataset.  ``build_shards``
-    enables the sharded parallel cold build (``None``/``0``/``1`` builds
+    ``datasets`` defaults to every bundled dataset; entries may also be
+    :mod:`repro.store` source URIs (``csv:…`` / ``npz:…`` / ``sqlite:…``),
+    which are served through the source-keyed rollup cache and the
+    out-of-core build.  ``build_shards`` enables the sharded parallel
+    cold build for bundled datasets (``None``/``0``/``1`` builds
     one-shot); ``build_workers`` sizes its process pool.
     """
     builder = None
     if build_shards is not None and build_shards > 1:
         builder = ShardedBuilder(n_shards=build_shards, max_workers=build_workers)
-    registry = SessionRegistry.with_bundled_datasets(
-        names=datasets,
+    names = tuple(datasets) if datasets is not None else available_datasets()
+    specs = [
+        DatasetSpec.from_source(name)
+        if is_source_uri(name)
+        else DatasetSpec.bundled(name)
+        for name in names
+    ]
+    registry = SessionRegistry(
+        specs=specs,
         memory_budget_bytes=memory_budget_bytes,
         ttl_seconds=ttl_seconds,
         builder=builder,

@@ -39,6 +39,7 @@ from repro.datasets.base import Dataset
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.exceptions import QueryError
 from repro.serve.sharding import ShardedBuilder
+from repro.store import resolve_source
 
 
 def default_config_for(dataset: Dataset) -> ExplainConfig:
@@ -63,7 +64,12 @@ class DatasetSpec:
     :class:`~repro.datasets.base.Dataset`; it runs at most once per cold
     build (under the single-flight lock).  ``config`` overrides the
     serving default (:func:`default_config_for`); ``explain_by`` overrides
-    the dataset's own attribute set.
+    the dataset's own attribute set.  ``source`` names a
+    :mod:`repro.store` URI instead: the cold build then goes through
+    :meth:`ExplainSession.from_source` — source-fingerprint cache lookup
+    first (a warm serve skips ingestion entirely), chunked out-of-core
+    build on a miss — and the relation stays unmaterialized until a
+    request (``/recommend``) actually needs rows.
     """
 
     name: str
@@ -71,6 +77,7 @@ class DatasetSpec:
     config: ExplainConfig | None = None
     explain_by: tuple[str, ...] | None = None
     description: str = ""
+    source: str | None = None
 
     @classmethod
     def bundled(cls, name: str, **kwargs) -> "DatasetSpec":
@@ -81,6 +88,22 @@ class DatasetSpec:
     def from_dataset(cls, dataset: Dataset, **kwargs) -> "DatasetSpec":
         """A spec wrapping an already-materialized dataset."""
         return cls(name=dataset.name, loader=lambda: dataset, **kwargs)
+
+    @classmethod
+    def from_source(cls, uri: str, name: str | None = None, **kwargs) -> "DatasetSpec":
+        """A spec serving a data-source URI (``csv:``/``npz:``/``sqlite:``)."""
+
+        def loader() -> Dataset:
+            # Source-backed specs materialize through the lazy
+            # ExplainSession.from_source path in _prepare_from_source;
+            # an eager loader call would silently ingest the whole
+            # source, so enforce the invariant instead of permitting it.
+            raise QueryError(
+                f"source-backed spec {uri!r} must not be materialized via "
+                "loader(); the registry prepares it lazily from the source"
+            )
+
+        return cls(name=name or uri, loader=loader, source=uri, **kwargs)
 
 
 def session_nbytes(session: ExplainSession) -> int:
@@ -302,7 +325,13 @@ class SessionRegistry:
                 if entry is not None:
                     cube = entry.session.cube
                     row.update(
-                        rows=entry.session.relation.n_rows,
+                        # Reporting must never force a lazy (source-backed)
+                        # session to ingest its relation.
+                        rows=(
+                            entry.session.relation.n_rows
+                            if entry.session.relation_loaded
+                            else None
+                        ),
                         epsilon=cube.n_explanations,
                         n_times=cube.n_times,
                         memory_bytes=entry.nbytes,
@@ -356,6 +385,8 @@ class SessionRegistry:
     def _prepare(self, spec: DatasetSpec) -> tuple[ExplainSession, float]:
         """Materialize and prepare a session (runs under the key lock only)."""
         started = time.perf_counter()
+        if spec.source is not None:
+            return self._prepare_from_source(spec, started)
         dataset = spec.loader()
         config = spec.config if spec.config is not None else default_config_for(dataset)
         if self._cache_dir and not config.cache_dir:
@@ -387,6 +418,26 @@ class SessionRegistry:
             )
         else:
             session.prepare()
+        return session, time.perf_counter() - started
+
+    def _prepare_from_source(
+        self, spec: DatasetSpec, started: float
+    ) -> tuple[ExplainSession, float]:
+        """Cold-build a source-backed spec (source-keyed cache, out-of-core).
+
+        The sharded builder is not used here — the chunked append build is
+        the bounded-memory analogue for sources — and the session's
+        relation stays lazy: a warm cache serve never parses the source.
+        """
+        source = resolve_source(spec.source)
+        config = spec.config if spec.config is not None else ExplainConfig.optimized()
+        if self._cache_dir and not config.cache_dir:
+            config = config.updated(cache_dir=self._cache_dir)
+        session = ExplainSession.from_source(
+            source,
+            explain_by=spec.explain_by,
+            config=config,
+        )
         return session, time.perf_counter() - started
 
     def _admit(self, name: str, session: ExplainSession, build_seconds: float) -> None:

@@ -255,3 +255,12 @@ def test_serve_rejects_unknown_dataset(capsys):
     code = main(["serve", "--datasets", "no-such-dataset", "--port", "0"])
     assert code == 2
     assert "unknown dataset" in capsys.readouterr().err
+
+
+def test_serve_rejects_malformed_source_uri(capsys):
+    code = main([
+        "serve", "--datasets", "csv:kpi.csv?tme=t&measure=v", "--port", "0",
+    ])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "tme" in err  # fails at startup, not per request

@@ -35,3 +35,63 @@ def test_extra_csv_columns_dropped(tmp_path):
     relation = read_csv(path, dimensions=["a"], measures=["b"])
     assert relation.schema.names == ("a", "b")
     assert relation.column("b").tolist() == [2.0, 4.0]
+
+
+def test_non_numeric_measure_cell_names_column_and_value(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("t,cat,v\nd1,a,1.5\nd2,b,oops\n")
+    with pytest.raises(SchemaError) as excinfo:
+        read_csv(path, dimensions=["cat"], measures=["v"], time="t")
+    assert "'v'" in str(excinfo.value)
+    assert "'oops'" in str(excinfo.value)
+
+
+def test_ragged_row_raises(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("a,b\nx,2\ny\n")
+    with pytest.raises(SchemaError, match="row 3"):
+        read_csv(path, dimensions=["a"], measures=["b"])
+
+
+def test_empty_file_reports_missing_columns(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(SchemaError, match="lacks columns"):
+        read_csv(path, dimensions=["a"], measures=["b"])
+
+
+def test_header_only_file_loads_zero_rows(tmp_path):
+    path = tmp_path / "header.csv"
+    path.write_text("t,cat,v\n")
+    relation = read_csv(path, dimensions=["cat"], measures=["v"], time="t")
+    assert relation.n_rows == 0
+    assert relation.column("v").dtype == "float64"
+
+
+def test_quoted_fields_round_trip(tmp_path):
+    relation = build_relation(
+        {
+            "t": ["d1", "d2"],
+            "cat": ['with,comma', 'with "quote"\nand newline'],
+            "v": [1.25, -0.0],
+        },
+        dimensions=["cat"],
+        measures=["v"],
+        time="t",
+    )
+    path = tmp_path / "tricky.csv"
+    write_csv(relation, path)
+    loaded = read_csv(path, dimensions=["cat"], measures=["v"], time="t")
+    assert list(loaded.column("cat")) == list(relation.column("cat"))
+    assert loaded.column("v").tolist() == [1.25, -0.0]
+
+
+def test_duplicate_needed_header_rejected(tmp_path):
+    path = tmp_path / "dup.csv"
+    path.write_text("t,v,v\nd1,1,2\n")
+    with pytest.raises(SchemaError, match="repeats"):
+        read_csv(path, measures=["v"], time="t")
+    # Duplicates among *dropped* columns stay harmless.
+    path.write_text("t,x,x,v\nd1,a,b,2\n")
+    relation = read_csv(path, measures=["v"], time="t")
+    assert relation.column("v").tolist() == [2.0]
