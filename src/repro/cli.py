@@ -30,6 +30,13 @@ Commands
     cheap content fingerprint) or ``convert`` it between backends —
     e.g. CSV to the memory-mapped ``npz`` columnar snapshot, or into a
     SQLite table for pushdown queries.
+``lattice``
+    Prepare a rollup *lattice* ahead of time: one scan over the data
+    ``build``s every root rollup, coarser rollups derive from the roots'
+    ledgers without rescanning, and the manifest is persisted in the
+    rollup cache.  ``inspect`` lists the lattices a cache directory
+    holds.  ``explain --lattice`` and ``serve --lattice`` then route
+    each prepare through the lattice instead of building from scratch.
 ``serve``
     Start the concurrent JSON-over-HTTP serving tier
     (:mod:`repro.serve`): many datasets behind a memory-budget + TTL
@@ -61,8 +68,12 @@ Examples
         --chunk-rows 100000 --cache-dir ./cube-cache
     python -m repro explain \\
         --source "sqlite:sales.db?table=sales&time=day&dims=region&measure=revenue&where=region='EU'"
+    python -m repro lattice build --dataset sp500 --cache-dir ./cube-cache
+    python -m repro lattice inspect --cache-dir ./cube-cache
+    python -m repro explain --dataset sp500 --explain-by category \\
+        --cache-dir ./cube-cache --lattice
     python -m repro serve --datasets covid-total,npz:sales.npz --port 8765 \\
-        --cache-dir ./cube-cache --build-shards 4
+        --cache-dir ./cube-cache --build-shards 4 --lattice
     curl 'http://127.0.0.1:8765/explain?dataset=covid-total'
 """
 
@@ -282,7 +293,11 @@ def _command_explain(args: argparse.Namespace) -> int:
     # silently ignore a conflicting --dataset/--csv flag.
     _require_one_source(args)
     if args.follow:
+        if args.lattice:
+            raise ReproError("--lattice does not combine with --follow")
         return _follow_explain(args)
+    if args.lattice:
+        return _lattice_explain(args)
     if args.out_of_core:
         return _out_of_core_explain(args)
     dataset = _load_source(args)
@@ -322,6 +337,54 @@ def _out_of_core_explain(args: argparse.Namespace) -> int:
                 f"peak chunk {report.peak_chunk_rows} rows, "
                 f"{'out-of-core' if report.out_of_core else 'one-shot fallback'}"
             )
+    return 0
+
+
+def _lattice_explain(args: argparse.Namespace) -> int:
+    """``explain --lattice``: route the prepare through the rollup lattice.
+
+    The requested shape is answered from the finest matching-or-coarser
+    prepared rollup (exact cache entry, or a derivation over its ledger);
+    only a true lattice miss pays the classic build, and the router
+    counts it so repeatedly-missed shapes get promoted.
+    """
+    # Imported lazily: plain explain runs never pay the lattice import.
+    from repro.lattice import LatticeRouter
+
+    if not args.cache_dir:
+        raise ReproError(
+            "--lattice needs --cache-dir: the lattice lives in the rollup "
+            "cache (prepare it with 'repro lattice build')"
+        )
+    cache = RollupCache(args.cache_dir)
+    if args.source:
+        source = _resolve_cli_source(args)
+        router = LatticeRouter.for_source(source, cache=cache)
+        session = ExplainSession.from_lattice(
+            router,
+            source=source,
+            explain_by=_split_names(args.explain_by) or None,
+            aggregate=args.aggregate,
+            config=_build_config(args),
+            chunk_rows=args.chunk_rows,
+        )
+    else:
+        dataset = _load_source(args)
+        router = LatticeRouter.for_relation(dataset.relation, cache=cache)
+        session = ExplainSession.from_lattice(
+            router,
+            relation=dataset.relation,
+            measure=dataset.measure,
+            explain_by=_explain_by(args, dataset),
+            aggregate=dataset.aggregate,
+            config=_build_config(args, dataset),
+        )
+    result = session.query().window(args.start, args.stop).run()
+    _print_result(args, result)
+    info = session.route_info
+    if info is not None:
+        origin = f" from {info.served_by.describe()}" if info.served_by else ""
+        print(f"lattice: {info.decision}{origin}")
     return 0
 
 
@@ -561,6 +624,106 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 1
 
 
+def _command_lattice(args: argparse.Namespace) -> int:
+    from repro.lattice import build_lattice, default_lattice, parse_rollup_spec
+
+    cache = RollupCache(args.cache_dir)
+    if args.action == "inspect":
+        return _lattice_inspect(cache)
+    # action == "build": plan roots, scan once, derive the rest, persist.
+    _require_one_source(args)
+    if args.source:
+        data = _resolve_cli_source(args)
+        schema = data.schema
+        measures = schema.measure_names()
+        if not measures:
+            raise ReproError(f"source {data.uri} binds no measure column")
+        measure = measures[0]
+        aggregate = args.aggregate or data.default_aggregate
+        dims = _split_names(args.explain_by) or schema.dimension_names()
+    else:
+        dataset = _load_source(args)
+        data = dataset.relation
+        measure = dataset.measure
+        aggregate = args.aggregate or dataset.aggregate
+        dims = _explain_by(args, dataset)
+    max_order = args.max_order if args.max_order is not None else 3
+    if args.rollups:
+        specs = [
+            parse_rollup_spec(entry, measure, aggregate=aggregate, max_order=max_order)
+            for entry in args.rollups.split(";")
+            if entry.strip()
+        ]
+        if not specs:
+            raise ReproError("--rollups named no rollup shapes")
+    else:
+        specs = default_lattice(dims, measure, aggregate=aggregate, max_order=max_order)
+    kwargs = {}
+    if args.chunk_rows is not None:
+        kwargs["chunk_rows"] = args.chunk_rows
+    cubes, report = build_lattice(data, specs, cache=cache, **kwargs)
+    print(
+        f"lattice {report.fingerprint}: {len(cubes)} rollup(s) — "
+        f"{len(report.built)} built in one scan of {report.rows} rows "
+        f"({report.chunks} chunk(s), "
+        f"{'out-of-core' if report.out_of_core else 'in-memory'}), "
+        f"{len(report.derived)} derived from the roots, "
+        f"{report.build_seconds:.2f}s"
+    )
+    for spec in report.built:
+        print(f"  built    {spec.describe()} (max_order={spec.max_order})")
+    for spec in report.derived:
+        print(f"  derived  {spec.describe()} (max_order={spec.max_order})")
+    # stored counts cubes + the manifest; anything short of that means
+    # the cache could not persist the full lattice — fail loudly, a
+    # prewarm that silently did not land would defeat its purpose.
+    if report.stored < len(cubes) + 1:
+        print(
+            f"stored only {report.stored}/{len(cubes) + 1} artifact(s) under "
+            f"{cache.directory} — directory unwritable or labels uncacheable",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"stored {len(cubes)} rollup(s) + manifest under {cache.directory}")
+    return 0
+
+
+def _lattice_inspect(cache: RollupCache) -> int:
+    """List every lattice manifest a cache directory holds."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.cube.cache import MANIFEST_SUFFIX
+    from repro.lattice import LatticeManifest
+
+    paths = sorted(Path(cache.directory).glob(f"*{MANIFEST_SUFFIX}"))
+    if not paths:
+        print(f"no lattice manifests under {cache.directory}")
+        return 0
+    corrupt = 0
+    for path in paths:
+        try:
+            manifest = LatticeManifest.from_payload(
+                _json.loads(path.read_text(encoding="utf-8"))
+            )
+        except (OSError, ValueError, ReproError) as error:
+            corrupt += 1
+            print(f"{path.name}: unreadable ({error})", file=sys.stderr)
+            continue
+        print(f"lattice {manifest.fingerprint} (time={manifest.time_attr}):")
+        for entry in manifest.entries:
+            spec = entry.spec
+            print(
+                f"  {spec.describe():<40s} max_order={spec.max_order} "
+                f"[{entry.origin}]"
+            )
+    print(
+        f"{len(paths) - corrupt} manifest(s)"
+        + (f", {corrupt} unreadable" if corrupt else "")
+    )
+    return 1 if corrupt else 0
+
+
 def _command_store(args: argparse.Namespace) -> int:
     source = resolve_source(
         args.source_uri,
@@ -638,6 +801,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         build_shards=args.build_shards,
         build_workers=args.build_workers,
         max_requests=args.max_requests,
+        lattice=args.lattice,
         verbose=args.verbose,
     )
     # The port line is machine-read by smoke tests (--port 0 binds an
@@ -702,6 +866,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate order threshold beta_max (default 3); must match any "
         "`cache build --max-order` prewarm for the cache to hit",
     )
+    explain.add_argument(
+        "--lattice",
+        action="store_true",
+        help="answer the prepare from the rollup lattice in --cache-dir "
+        "(exact or derived rollup; see 'repro lattice build')",
+    )
     storage = explain.add_argument_group("out-of-core ingestion (--source only)")
     storage.add_argument(
         "--out-of-core",
@@ -761,6 +931,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_source_arguments(cache)
     cache.set_defaults(handler=_command_cache)
+
+    lattice = commands.add_parser(
+        "lattice", help="build and inspect rollup lattices for the query router"
+    )
+    lattice.add_argument(
+        "action",
+        choices=("build", "inspect"),
+        help="build: one scan feeds every root rollup, the rest derive from "
+        "their ledgers; inspect: list the lattice manifests in a cache dir",
+    )
+    lattice.add_argument(
+        "--cache-dir", required=True, help="rollup-cache directory the lattice lives in"
+    )
+    _add_source_arguments(lattice)
+    lattice.add_argument(
+        "--rollups",
+        help="semicolon-separated rollup shapes 'dims@agg', e.g. "
+        "'region,channel@sum;region@avg' (default: the full explain-by set "
+        "plus each single dimension)",
+    )
+    lattice.add_argument(
+        "--max-order", type=int, help="candidate order threshold (default 3)"
+    )
+    lattice.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="rows per ingestion chunk for --source builds (default 100000)",
+    )
+    lattice.set_defaults(handler=_command_lattice)
 
     datasets = commands.add_parser("datasets", help="list bundled datasets")
     datasets.set_defaults(handler=_command_datasets)
@@ -839,6 +1039,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-requests",
         type=int,
         help="shut down after serving this many requests (smoke tests)",
+    )
+    serve.add_argument(
+        "--lattice",
+        action="store_true",
+        help="route every cold prepare through the dataset's rollup lattice "
+        "(prepare with 'repro lattice build' into the same --cache-dir)",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log each request to stderr"

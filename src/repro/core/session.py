@@ -50,6 +50,7 @@ from repro.relation.table import Relation
 from repro.relation.timeseries import TimeSeries
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.lattice.router import LatticeRouter, RouteInfo
     from repro.store.base import DataSource
     from repro.store.ingest import IngestReport
 
@@ -201,6 +202,7 @@ class ExplainSession:
         # cube build.
         self._lock = threading.RLock()
         self._ingest_report: "IngestReport | None" = None
+        self._route_info: "RouteInfo | None" = None
 
     # ------------------------------------------------------------------
     # Construction from data sources (repro.store)
@@ -298,6 +300,126 @@ class ExplainSession:
         )
         session._ingest_report = report
         return session
+
+    @classmethod
+    def from_lattice(
+        cls,
+        router: "LatticeRouter",
+        relation: Relation | None = None,
+        source: "DataSource | str | None" = None,
+        measure: str | None = None,
+        explain_by: Sequence[str] | None = None,
+        aggregate: str | None = None,
+        time_attr: str | None = None,
+        config: ExplainConfig | None = None,
+        chunk_rows: int | None = None,
+        out_of_core: bool = True,
+        scorer_cache_size: int = DEFAULT_SCORER_CACHE_SIZE,
+        **config_overrides,
+    ) -> "ExplainSession":
+        """A session prepared through a lattice router instead of a build.
+
+        Exactly one of ``relation``/``source`` binds the data (the router
+        must be keyed by that data's fingerprint —
+        :meth:`~repro.lattice.router.LatticeRouter.for_relation` /
+        :meth:`~repro.lattice.router.LatticeRouter.for_source`).  The
+        session's cube request — ``(dims, measure, aggregate)`` plus the
+        config's cube-shaping knobs — is routed first: an exact or
+        derived rollup installs without touching the data.  Windows need
+        no routing at all: a rollup covers the full time axis and every
+        windowed query is an O(window) slice of it.  On a lattice miss
+        the classic build path runs (out-of-core for sources) and the
+        built cube is reported back to the router, which promotes shapes
+        that keep missing.  :attr:`route_info` records the decision.
+        """
+        from repro.cube.cache import RollupCache
+        from repro.lattice.spec import RollupSpec
+        from repro.store.base import DEFAULT_CHUNK_ROWS
+        from repro.store.ingest import load_or_build_from_source
+        from repro.store.uri import resolve_source
+
+        if (relation is None) == (source is None):
+            raise QueryError(
+                "from_lattice needs exactly one of relation= or source="
+            )
+        if source is not None:
+            source = resolve_source(source)
+            schema = source.schema
+            aggregate = aggregate or source.default_aggregate
+        else:
+            schema = relation.schema
+            aggregate = aggregate or "sum"
+        if measure is None:
+            measures = schema.measure_names()
+            if not measures:
+                raise QueryError("the bound data has no measure column")
+            measure = measures[0]
+        explain_by = tuple(explain_by) if explain_by else schema.dimension_names()
+        time_attr = time_attr or schema.require_time()
+        session = cls(
+            relation if relation is not None else source.read,
+            measure=measure,
+            explain_by=explain_by,
+            aggregate=aggregate,
+            time_attr=time_attr,
+            config=config,
+            scorer_cache_size=scorer_cache_size,
+            **config_overrides,
+        )
+        config = session.config
+        spec = RollupSpec(
+            dims=explain_by,
+            measure=measure,
+            aggregate=aggregate,
+            max_order=config.max_order,
+            deduplicate=config.deduplicate,
+        )
+        started = time.perf_counter()
+        cube, info = router.route(spec)
+        if cube is not None:
+            session.adopt_snapshot(
+                None,
+                cube,
+                cache_hit=True,
+                prepare_seconds=time.perf_counter() - started,
+            )
+        elif source is not None:
+            cache = (
+                RollupCache(config.cache_dir, max_entries=config.cache_max_entries)
+                if config.cache_dir
+                else None
+            )
+            cube, report = load_or_build_from_source(
+                cache,
+                source,
+                explain_by,
+                measure,
+                aggregate=aggregate,
+                time_attr=time_attr,
+                max_order=config.max_order,
+                deduplicate=config.deduplicate,
+                columnar=config.columnar,
+                chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS,
+                out_of_core=out_of_core,
+            )
+            session.adopt_snapshot(
+                report.relation,
+                cube,
+                cache_hit=report.cache_hit if cache is not None else None,
+                prepare_seconds=time.perf_counter() - started,
+            )
+            session._ingest_report = report
+            router.record_build(spec, cube)
+        else:
+            session.prepare()
+            router.record_build(spec, session.cube)
+        session._route_info = info
+        return session
+
+    @property
+    def route_info(self) -> "RouteInfo | None":
+        """How :meth:`from_lattice` routed this session (else ``None``)."""
+        return self._route_info
 
     @property
     def ingest_report(self) -> "IngestReport | None":

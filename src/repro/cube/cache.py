@@ -74,7 +74,7 @@ import numpy as np
 
 from repro.cube.datacube import ExplanationCube
 from repro.cube.delta import CubeAppendState, SubsetLedger
-from repro.exceptions import AggregateError
+from repro.exceptions import AggregateError, QueryError
 from repro.relation.aggregates import AggregateFunction, get_aggregate
 from repro.relation.predicates import Conjunction
 from repro.relation.schema import Attribute, AttributeKind, Schema
@@ -86,6 +86,9 @@ CACHE_FORMAT = 2
 
 #: Filename suffix of cache entries.
 CACHE_SUFFIX = ".cube.npz"
+
+#: Filename suffix of lattice manifests (one per data fingerprint).
+MANIFEST_SUFFIX = ".lattice.json"
 
 
 @dataclass(frozen=True)
@@ -409,6 +412,67 @@ class RollupCache:
                 pass
 
     # ------------------------------------------------------------------
+    # Lattice manifests (repro.lattice)
+    # ------------------------------------------------------------------
+    def manifest_path_for(self, fingerprint: str) -> Path:
+        """Where the lattice manifest of one data fingerprint lives."""
+        digest = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
+        return self._directory / f"{digest}{MANIFEST_SUFFIX}"
+
+    def load_manifest_payload(self, fingerprint: str) -> dict | None:
+        """The raw manifest JSON for a fingerprint, or ``None`` if absent.
+
+        Unlike cube entries, a *present but unreadable* manifest raises
+        :class:`~repro.exceptions.QueryError` instead of reading as a
+        miss: the manifest tells the lattice router which rollups are
+        answerable, and silently forgetting them would quietly rebuild
+        what the operator believes is prepared.  Semantic validation
+        (format version, fingerprint match) is the caller's job
+        (:meth:`repro.lattice.manifest.LatticeManifest.from_payload`).
+        """
+        path = self.manifest_path_for(fingerprint)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as error:
+            raise QueryError(
+                f"lattice manifest {path} is unreadable: {error}"
+            ) from error
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise QueryError(
+                f"lattice manifest {path} is corrupt: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise QueryError(f"lattice manifest {path} is corrupt: not an object")
+        return payload
+
+    def store_manifest_payload(self, fingerprint: str, payload: dict) -> bool:
+        """Atomically persist a manifest document; ``False`` if unwritable.
+
+        The same temp-file + rename discipline as cube entries and append
+        logs: a crashed writer can never leave a torn manifest, and a
+        torn manifest would be a loud routing failure (see
+        :meth:`load_manifest_payload`) rather than a silent one.
+        """
+        path = self.manifest_path_for(fingerprint)
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            handle, tmp_name = tempfile.mkstemp(
+                dir=self._directory, suffix=f"{MANIFEST_SUFFIX}.tmp"
+            )
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(payload, tmp)
+            os.replace(tmp_name, path)
+            return True
+        except OSError:
+            # An unwritable cache directory degrades to an in-memory
+            # lattice, exactly like an unpersistable cube store.
+            return False
+
+    # ------------------------------------------------------------------
     # Maintenance (``repro cache inspect`` / ``repro cache clear``)
     # ------------------------------------------------------------------
     def entries(self) -> list[CacheEntry]:
@@ -454,9 +518,9 @@ class RollupCache:
         return rows
 
     def clear(self) -> int:
-        """Delete every cache entry, append log, and any orphaned temp
-        file left by a crashed writer; returns the number of files
-        removed."""
+        """Delete every cache entry, append log, lattice manifest, and any
+        orphaned temp file left by a crashed writer; returns the number of
+        files removed."""
         removed = 0
         if not self._directory.is_dir():
             return removed
@@ -465,6 +529,8 @@ class RollupCache:
             f"*{CACHE_SUFFIX}.tmp",
             f"*{LOG_SUFFIX}",
             f"*{LOG_SUFFIX}.tmp",
+            f"*{MANIFEST_SUFFIX}",
+            f"*{MANIFEST_SUFFIX}.tmp",
         ):
             for path in self._glob(pattern):
                 try:

@@ -1,0 +1,139 @@
+"""The persisted lattice manifest: which rollups exist for a fingerprint.
+
+One JSON document per data fingerprint, stored next to the cube entries
+in the rollup cache (:meth:`repro.cube.cache.RollupCache` with the
+``.lattice.json`` suffix).  It is the router's index — *which* specs have
+materialized rollups and where each came from (``built`` in the single
+scan, ``derived`` on demand, ``promoted`` from the ad-hoc build path).
+
+Unlike cube entries (where corruption is a silent miss and a rebuild),
+the manifest is a **correctness input** to routing: a corrupt document or
+one whose recorded fingerprint disagrees with the source must fail loudly
+(:class:`~repro.exceptions.QueryError`) rather than silently serving or
+rebuilding against the wrong data — that is the negative-path contract
+``tests/test_lattice.py`` pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import QueryError
+from repro.lattice.spec import RollupSpec
+
+#: Bump when the manifest JSON layout changes; older documents then fail
+#: loudly (the lattice must be rebuilt, never guessed at).
+MANIFEST_FORMAT = 1
+
+#: Where a manifest entry's rollup came from.
+ORIGINS = ("built", "derived", "promoted")
+
+
+@dataclass(frozen=True)
+class RollupEntry:
+    """One materialized rollup: its spec and how it came to exist."""
+
+    spec: RollupSpec
+    origin: str = "built"
+
+    def __post_init__(self):
+        if self.origin not in ORIGINS:
+            raise QueryError(
+                f"unknown rollup origin {self.origin!r}; expected one of {ORIGINS}"
+            )
+
+
+@dataclass(frozen=True)
+class LatticeManifest:
+    """The rollup roster of one data fingerprint (immutable value object)."""
+
+    fingerprint: str
+    time_attr: str
+    entries: tuple[RollupEntry, ...] = ()
+
+    def specs(self) -> tuple[RollupSpec, ...]:
+        return tuple(entry.spec for entry in self.entries)
+
+    def __contains__(self, spec: RollupSpec) -> bool:
+        return any(entry.spec == spec for entry in self.entries)
+
+    def get(self, spec: RollupSpec) -> RollupEntry | None:
+        for entry in self.entries:
+            if entry.spec == spec:
+                return entry
+        return None
+
+    def with_entry(self, spec: RollupSpec, origin: str) -> "LatticeManifest":
+        """A manifest with ``spec`` added (or its origin replaced)."""
+        entry = RollupEntry(spec=spec, origin=origin)
+        kept = tuple(e for e in self.entries if e.spec != spec)
+        return LatticeManifest(
+            fingerprint=self.fingerprint,
+            time_attr=self.time_attr,
+            entries=kept + (entry,),
+        )
+
+    # ------------------------------------------------------------------
+    # JSON (de)serialization
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "fingerprint": self.fingerprint,
+            "time_attr": self.time_attr,
+            "rollups": [
+                {
+                    "dims": list(entry.spec.dims),
+                    "measure": entry.spec.measure,
+                    "aggregate": entry.spec.aggregate,
+                    "max_order": entry.spec.max_order,
+                    "deduplicate": entry.spec.deduplicate,
+                    "origin": entry.origin,
+                }
+                for entry in self.entries
+            ],
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: object, expected_fingerprint: str | None = None
+    ) -> "LatticeManifest":
+        """Decode and validate a manifest document.
+
+        Raises :class:`~repro.exceptions.QueryError` on any malformation,
+        a format-version mismatch, or — when ``expected_fingerprint`` is
+        given — a fingerprint that disagrees with the source's.
+        """
+        try:
+            if not isinstance(payload, dict):
+                raise ValueError("manifest payload is not an object")
+            if payload.get("format") != MANIFEST_FORMAT:
+                raise ValueError(
+                    f"manifest format {payload.get('format')!r} != {MANIFEST_FORMAT}"
+                )
+            fingerprint = str(payload["fingerprint"])
+            time_attr = str(payload["time_attr"])
+            entries = tuple(
+                RollupEntry(
+                    spec=RollupSpec(
+                        dims=tuple(str(d) for d in row["dims"]),
+                        measure=str(row["measure"]),
+                        aggregate=str(row["aggregate"]),
+                        max_order=int(row["max_order"]),
+                        deduplicate=bool(row["deduplicate"]),
+                    ),
+                    origin=str(row.get("origin", "built")),
+                )
+                for row in payload["rollups"]
+            )
+        except QueryError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            raise QueryError(f"corrupt lattice manifest: {error}") from error
+        if expected_fingerprint is not None and fingerprint != expected_fingerprint:
+            raise QueryError(
+                f"lattice manifest fingerprint {fingerprint!r} does not match "
+                f"the source fingerprint {expected_fingerprint!r}; the data "
+                "changed under the lattice — rebuild with 'repro lattice build'"
+            )
+        return cls(fingerprint=fingerprint, time_attr=time_attr, entries=entries)

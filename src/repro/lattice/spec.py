@@ -1,0 +1,149 @@
+"""Rollup specifications: the unit the lattice plans, builds and routes.
+
+A :class:`RollupSpec` names one raw explanation cube shape — the explain-by
+dimensions, the measure, the aggregate and the cube-shaping knobs
+(``max_order``, ``deduplicate``).  It is deliberately the same parameter
+set as :class:`repro.cube.cache.CubeKey` minus the data fingerprint: a
+spec plus a fingerprint *is* a cache key (:func:`rollup_key`), so every
+rollup the lattice materializes lands in the ordinary rollup cache and is
+indistinguishable from a cube the classic prepare path would have stored.
+
+Windows and run-tier knobs (smoothing, filter, metric, ``k``/``m``) are
+deliberately **not** part of a spec: a rollup always covers the full time
+axis and sessions serve windows as O(window) slices of it, so one rollup
+answers every window of its shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cube.cache import CubeKey, cube_key_for_fingerprint
+from repro.exceptions import QueryError
+from repro.relation.aggregates import get_aggregate
+
+
+@dataclass(frozen=True)
+class RollupSpec:
+    """One rollup cube shape: ``(dims, measure, aggregate, cube knobs)``.
+
+    ``dims`` is normalized to sorted order (the cube sorts ``explain_by``
+    too, so attribute order never splits the lattice) and the aggregate
+    must be a registry aggregate supporting state subtraction — the same
+    constraint the explanation cube itself imposes.
+    """
+
+    dims: tuple[str, ...]
+    measure: str
+    aggregate: str = "sum"
+    max_order: int = 3
+    deduplicate: bool = True
+
+    def __post_init__(self):
+        if not self.dims:
+            raise QueryError("a rollup spec needs at least one dimension")
+        object.__setattr__(self, "dims", tuple(sorted(self.dims)))
+        function = get_aggregate(self.aggregate)
+        if not function.subtractable:
+            raise QueryError(
+                f"aggregate {function.name!r} is not subtractable and cannot "
+                "back an explanation-cube rollup"
+            )
+        object.__setattr__(self, "aggregate", function.name)
+        if self.max_order < 1:
+            raise QueryError(f"max_order must be >= 1, got {self.max_order}")
+
+    @property
+    def effective_order(self) -> int:
+        """The deepest conjunction order this rollup actually holds.
+
+        ``max_order`` is stored raw (it is part of the cache key), but
+        candidate enumeration clamps it to the dimension count — a
+        3-order cube over 2 dims holds subsets up to order 2 only.
+        """
+        return min(self.max_order, len(self.dims))
+
+    def describe(self) -> str:
+        """One human-readable token, e.g. ``a,b@var``."""
+        return f"{','.join(self.dims)}@{self.aggregate}"
+
+
+def rollup_key(fingerprint: str, spec: RollupSpec, time_attr: str) -> CubeKey:
+    """The rollup-cache key ``spec`` resolves to for one data fingerprint."""
+    return cube_key_for_fingerprint(
+        fingerprint,
+        spec.measure,
+        spec.dims,
+        aggregate=spec.aggregate,
+        time_attr=time_attr,
+        max_order=spec.max_order,
+        deduplicate=spec.deduplicate,
+    )
+
+
+def parse_rollup_spec(
+    text: str,
+    measure: str,
+    aggregate: str = "sum",
+    max_order: int = 3,
+    deduplicate: bool = True,
+) -> RollupSpec:
+    """Parse one CLI rollup token: ``dim1,dim2`` or ``dim1,dim2@agg``.
+
+    The aggregate defaults to the query's own; measure and cube knobs
+    always come from the query (they are not spellable per-rollup).
+    """
+    token = text.strip()
+    if "@" in token:
+        dims_part, _, agg_part = token.rpartition("@")
+        aggregate = agg_part.strip() or aggregate
+    else:
+        dims_part = token
+    dims = tuple(d.strip() for d in dims_part.split(",") if d.strip())
+    if not dims:
+        raise QueryError(f"rollup spec {text!r} names no dimensions")
+    return RollupSpec(
+        dims=dims,
+        measure=measure,
+        aggregate=aggregate,
+        max_order=max_order,
+        deduplicate=deduplicate,
+    )
+
+
+def default_lattice(
+    dims: Sequence[str],
+    measure: str,
+    aggregate: str = "sum",
+    max_order: int = 3,
+    deduplicate: bool = True,
+) -> list[RollupSpec]:
+    """The default lattice for a query: the full cube plus every single dim.
+
+    The full-dims rollup is the finest shape (drill-down requests derive
+    from it); the single-dim rollups are the shapes dashboards actually
+    open with.  The planner (:func:`repro.lattice.build.plan_roots`)
+    collapses this list to the cubes that truly need a source scan — with
+    a derivable aggregate, that is the full cube alone.
+    """
+    specs = [
+        RollupSpec(
+            dims=tuple(dims),
+            measure=measure,
+            aggregate=aggregate,
+            max_order=max_order,
+            deduplicate=deduplicate,
+        )
+    ]
+    for dim in sorted(dims):
+        spec = RollupSpec(
+            dims=(dim,),
+            measure=measure,
+            aggregate=aggregate,
+            max_order=max_order,
+            deduplicate=deduplicate,
+        )
+        if spec not in specs:
+            specs.append(spec)
+    return specs

@@ -290,6 +290,7 @@ def make_app(
     build_shards: int | None = None,
     build_workers: int | None = None,
     max_requests: int | None = None,
+    lattice: bool = False,
     verbose: bool = False,
 ) -> ServeApp:
     """Assemble a ready-to-start :class:`ServeApp` from flat options.
@@ -299,16 +300,19 @@ def make_app(
     which are served through the source-keyed rollup cache and the
     out-of-core build.  ``build_shards`` enables the sharded parallel
     cold build for bundled datasets (``None``/``0``/``1`` builds
-    one-shot); ``build_workers`` sizes its process pool.
+    one-shot); ``build_workers`` sizes its process pool.  ``lattice``
+    routes every cold prepare through the dataset's rollup lattice
+    (:mod:`repro.lattice`) — pre-build it with ``repro lattice build``
+    and point both at the same ``cache_dir``.
     """
     builder = None
     if build_shards is not None and build_shards > 1:
         builder = ShardedBuilder(n_shards=build_shards, max_workers=build_workers)
     names = tuple(datasets) if datasets is not None else available_datasets()
     specs = [
-        DatasetSpec.from_source(name)
+        DatasetSpec.from_source(name, lattice=lattice)
         if is_source_uri(name)
-        else DatasetSpec.bundled(name)
+        else DatasetSpec.bundled(name, lattice=lattice)
         for name in names
     ]
     registry = SessionRegistry(

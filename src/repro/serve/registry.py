@@ -38,6 +38,7 @@ from repro.cube.cache import RollupCache
 from repro.datasets.base import Dataset
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.exceptions import QueryError
+from repro.lattice.router import LatticeRouter
 from repro.serve.sharding import ShardedBuilder
 from repro.store import resolve_source
 
@@ -78,6 +79,10 @@ class DatasetSpec:
     explain_by: tuple[str, ...] | None = None
     description: str = ""
     source: str | None = None
+    #: Route the cold prepare through the dataset's rollup lattice
+    #: (:mod:`repro.lattice`): exact/derived rollups serve without a
+    #: build, misses fall back and feed the promotion policy.
+    lattice: bool = False
 
     @classmethod
     def bundled(cls, name: str, **kwargs) -> "DatasetSpec":
@@ -206,6 +211,9 @@ class SessionRegistry:
         self._cache_dir = cache_dir
         self._clock = clock
         self._stats = RegistryStats()
+        # One lattice router per data fingerprint, shared by every spec
+        # over the same data (created lazily by the first lattice spec).
+        self._routers: dict[str, LatticeRouter] = {}
         for spec in specs:
             self.register(spec)
 
@@ -354,8 +362,28 @@ class SessionRegistry:
                 ttl_seconds=self._ttl,
                 cache_dir=self._cache_dir,
                 sharded_builds=self._builder is not None,
+                lattice=self.lattice_stats(),
             )
             return payload
+
+    def lattice_stats(self) -> dict:
+        """Aggregated lattice-router counters (the ``/stats`` lattice key)."""
+        with self._lock:
+            routers = list(self._routers.values())
+        totals = {
+            "routers": len(routers),
+            "rollups": 0,
+            "resident_cubes": 0,
+            "exact_hits": 0,
+            "derived_hits": 0,
+            "lattice_miss": 0,
+            "derivations": 0,
+            "promotions": 0,
+        }
+        for router in routers:
+            for key, value in router.stats().items():
+                totals[key] += value
+        return totals
 
     # ------------------------------------------------------------------
     # Internals (registry lock held unless noted)
@@ -392,6 +420,20 @@ class SessionRegistry:
         if self._cache_dir and not config.cache_dir:
             config = config.updated(cache_dir=self._cache_dir)
         explain_by = spec.explain_by or dataset.explain_by
+        if spec.lattice:
+            router = self._router_for(
+                dataset.relation.fingerprint(),
+                dataset.relation.schema.require_time(),
+            )
+            session = ExplainSession.from_lattice(
+                router,
+                relation=dataset.relation,
+                measure=dataset.measure,
+                explain_by=explain_by,
+                aggregate=dataset.aggregate,
+                config=config,
+            )
+            return session, time.perf_counter() - started
         session = ExplainSession(
             dataset.relation,
             measure=dataset.measure,
@@ -433,12 +475,41 @@ class SessionRegistry:
         config = spec.config if spec.config is not None else ExplainConfig.optimized()
         if self._cache_dir and not config.cache_dir:
             config = config.updated(cache_dir=self._cache_dir)
+        if spec.lattice:
+            from repro.lattice.build import lattice_fingerprint
+
+            router = self._router_for(
+                lattice_fingerprint(source), source.schema.require_time()
+            )
+            session = ExplainSession.from_lattice(
+                router,
+                source=source,
+                explain_by=spec.explain_by,
+                config=config,
+            )
+            return session, time.perf_counter() - started
         session = ExplainSession.from_source(
             source,
             explain_by=spec.explain_by,
             config=config,
         )
         return session, time.perf_counter() - started
+
+    def _router_for(self, fingerprint: str, time_attr: str) -> LatticeRouter:
+        """The shared lattice router of one data fingerprint (lazy).
+
+        Creation loads and validates the persisted manifest — a corrupt
+        document or fingerprint mismatch propagates loudly to the request
+        that needed the lattice, per the routing contract.
+        """
+        with self._lock:
+            router = self._routers.get(fingerprint)
+            if router is None:
+                router = LatticeRouter(
+                    fingerprint, time_attr, cache=self._cache
+                )
+                self._routers[fingerprint] = router
+            return router
 
     def _admit(self, name: str, session: ExplainSession, build_seconds: float) -> None:
         now = self._clock()

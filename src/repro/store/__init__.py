@@ -21,6 +21,7 @@ from repro.store.ingest import (
     convert,
     dataset_from_source,
     load_or_build_from_source,
+    scan_cubes_from_source,
     source_cube_key,
 )
 from repro.store.npz_source import NpzSource, write_npz
@@ -51,6 +52,7 @@ __all__ = [
     "load_or_build_from_source",
     "parse_source_uri",
     "resolve_source",
+    "scan_cubes_from_source",
     "source_cube_key",
     "split_list",
     "write_npz",

@@ -163,6 +163,98 @@ def _build_out_of_core(
     return cube, chunks, rows, peak
 
 
+def scan_cubes_from_source(
+    source: DataSource,
+    queries: Sequence[dict],
+    time_attr: str | None = None,
+    columnar: bool = True,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    out_of_core: bool = True,
+) -> tuple[list[ExplanationCube], IngestReport]:
+    """Build N cubes from **one scan** over the source.
+
+    The multi-rollup workhorse behind :func:`repro.lattice.build_lattice`:
+    instead of paying N ingestion passes for N cube shapes, every chunk is
+    materialized once and scattered into all N append ledgers before the
+    next chunk is read — so peak relation residency stays one chunk while
+    the scan cost is paid once, and each resulting cube is bit-identical
+    to its own independent build (appends replay the exact unbuffered
+    ``np.add.at`` sequence of a one-shot build).
+
+    ``queries`` holds one dict per cube with the build parameters:
+    ``explain_by``, ``measure``, and optionally ``aggregate``,
+    ``max_order``, ``deduplicate``.  Degradation mirrors
+    :func:`load_or_build_from_source`: a source whose chunk order violates
+    the append contract (or ``out_of_core=False``) falls back to a single
+    one-shot read feeding all N builds — still one scan, unbounded
+    residency — and the report's ``relation`` hands the materialized rows
+    to callers that can reuse them.
+    """
+    if not queries:
+        raise QueryError("scan_cubes_from_source needs at least one query")
+    for query in queries:
+        _check_preaggregate(source, query.get("aggregate", "sum"))
+
+    def make_cube(query: dict, relation: Relation) -> ExplanationCube:
+        return ExplanationCube(
+            relation,
+            query["explain_by"],
+            query["measure"],
+            aggregate=query.get("aggregate", "sum"),
+            time_attr=time_attr,
+            max_order=query.get("max_order", 3),
+            deduplicate=query.get("deduplicate", True),
+            columnar=columnar,
+            appendable=True,
+        )
+
+    started = time.perf_counter()
+    chunked = False
+    chunks = rows = peak = 0
+    cubes: list[ExplanationCube] | None = None
+    if out_of_core and getattr(source, "chunk_safe", True) is False:
+        out_of_core = False
+    if out_of_core:
+        try:
+            cubes = []
+            for chunk in source.iter_chunks(chunk_rows):
+                if chunk.n_rows == 0:
+                    continue
+                chunks += 1
+                rows += chunk.n_rows
+                peak = max(peak, chunk.n_rows)
+                if not cubes:
+                    cubes = [make_cube(query, chunk) for query in queries]
+                else:
+                    for cube in cubes:
+                        cube.append(chunk)
+            if not cubes:
+                raise QueryError(f"source {source.uri} yielded no rows")
+            chunked = True
+        except BackfillError:
+            # Chunk order unsafe — degrade to the shared one-shot read
+            # below, exactly like the single-cube path.
+            cubes = None
+            chunks = rows = peak = 0
+    relation: Relation | None = None
+    if cubes is None:
+        relation = source.read()
+        if relation.n_rows == 0:
+            raise QueryError(f"source {source.uri} yielded no rows")
+        chunks, rows, peak = 1, relation.n_rows, relation.n_rows
+        cubes = [make_cube(query, relation) for query in queries]
+    report = IngestReport(
+        cache_hit=False,
+        out_of_core=chunked,
+        chunks=chunks,
+        rows=rows,
+        peak_chunk_rows=peak,
+        build_seconds=time.perf_counter() - started,
+        relation=relation,
+    )
+    return cubes, report
+
+
 def load_or_build_from_source(
     cache: RollupCache | None,
     source: DataSource,

@@ -92,6 +92,86 @@ def _compute(name: str) -> dict:
     }
 
 
+#: name -> (dataset, explain_by override, config factory) — example
+#: configurations served through the rollup lattice.  The lattice holds
+#: each dataset's default lattice (full shape + singles); covid_daily
+#: requests the full shape (an **exact** route), sp500 requests a coarser
+#: two-attribute shape the router must **derive** from the 3-dim root.
+#: Both outputs are frozen: a routing or derivation change that altered a
+#: single reported explanation fails here.
+LATTICE_CASES = {
+    "covid_daily_lattice": (
+        "covid-daily",
+        None,
+        lambda dataset: ExplainConfig.optimized(
+            smoothing_window=dataset.smoothing_window
+        ),
+    ),
+    "sp500_lattice": (
+        "sp500",
+        ("category", "subcategory"),
+        lambda dataset: ExplainConfig.optimized(),
+    ),
+}
+
+
+def _compute_lattice(name: str) -> dict:
+    from repro.lattice import LatticeRouter, build_lattice, default_lattice
+
+    dataset_name, explain_by, config_for = LATTICE_CASES[name]
+    dataset = load_dataset(dataset_name)
+    config = config_for(dataset)
+    cubes, _ = build_lattice(
+        dataset.relation,
+        default_lattice(
+            dataset.explain_by,
+            dataset.measure,
+            aggregate=dataset.aggregate,
+            max_order=config.max_order,
+            deduplicate=config.deduplicate,
+        ),
+    )
+    router = LatticeRouter.for_relation(dataset.relation)
+    router.seed(cubes)
+    session = ExplainSession.from_lattice(
+        router,
+        relation=dataset.relation,
+        measure=dataset.measure,
+        explain_by=explain_by or dataset.explain_by,
+        aggregate=dataset.aggregate,
+        config=config,
+    )
+    result = session.explain()
+    info = session.route_info
+    return {
+        "dataset": dataset_name,
+        "explain_by": list(explain_by or dataset.explain_by),
+        "route": {
+            "decision": info.decision,
+            "served_by": info.served_by.describe() if info.served_by else None,
+        },
+        "k": result.k,
+        "k_was_auto": result.k_was_auto,
+        "epsilon": result.epsilon,
+        "filtered_epsilon": result.filtered_epsilon,
+        "segments": [
+            {
+                "start": str(segment.start_label),
+                "stop": str(segment.stop_label),
+                "explanations": [
+                    {
+                        "explanation": repr(scored.explanation),
+                        "gamma": scored.gamma,
+                        "tau": scored.tau,
+                    }
+                    for scored in segment.explanations
+                ],
+            }
+            for segment in result.segments
+        ],
+    }
+
+
 def _assert_matches(actual, expected, path="$"):
     if isinstance(expected, dict):
         assert isinstance(actual, dict) and set(actual) == set(expected), path
@@ -123,4 +203,20 @@ def test_golden_output_is_frozen(name):
         f"missing golden fixture {path}; regenerate with REPRO_REGEN_GOLDEN=1"
     )
     expected = json.loads(path.read_text(encoding="utf-8"))
+    _assert_matches(payload, expected)
+
+
+@pytest.mark.parametrize("name", sorted(LATTICE_CASES))
+def test_lattice_routed_golden_output_is_frozen(name):
+    payload = _compute_lattice(name)
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        pytest.skip(f"regenerated {path}")
+    assert path.is_file(), (
+        f"missing golden fixture {path}; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    # The route decision is structural: compared exactly, like the rest.
     _assert_matches(payload, expected)

@@ -430,6 +430,120 @@ def test_source_round_trips_preserve_fingerprint(relation):
         assert via_sqlite.fingerprint() == expected
 
 
+# ----------------------------------------------------------------------
+# Lattice equivalence: routing, derivation and the single-scan build
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    data=small_relations(),
+    aggregate=st.sampled_from(["sum", "count", "avg", "var"]),
+    smoothing=st.sampled_from([None, 3]),
+    start_frac=st.floats(0, 0.6),
+)
+def test_lattice_routed_equals_direct_build(data, aggregate, smoothing, start_frac):
+    """(a) Every lattice-routed cube is byte-identical to a one-shot
+    build, and a routed session answers windowed (smoothed) queries
+    exactly like a session that never saw the lattice."""
+    from repro.core.session import ExplainSession
+    from repro.lattice import LatticeRouter, RollupSpec, build_lattice, default_lattice
+    from repro.serve.jsonio import result_to_json
+
+    relation, dimensions = data
+    specs = default_lattice(dimensions, "m", aggregate=aggregate, max_order=2)
+    cubes, _ = build_lattice(relation, specs)
+    router = LatticeRouter.for_relation(relation)
+    router.seed(cubes)
+    for dims in [tuple(sorted(dimensions))] + [(d,) for d in dimensions]:
+        routed, info = router.route(
+            RollupSpec(dims=dims, measure="m", aggregate=aggregate, max_order=2)
+        )
+        assert info.decision in ("exact", "derived")
+        _assert_cubes_byte_identical(
+            routed,
+            ExplanationCube(relation, dims, "m", aggregate=aggregate, max_order=2),
+        )
+    config = ExplainConfig(use_filter=False, k_max=4, max_order=2)
+    if smoothing is not None:
+        config = config.updated(smoothing_window=smoothing)
+    routed_session = ExplainSession.from_lattice(
+        router,
+        relation=relation,
+        measure="m",
+        explain_by=dimensions,
+        aggregate=aggregate,
+        config=config,
+    )
+    assert routed_session.route_info.decision == "exact"
+    direct_session = ExplainSession(
+        relation, measure="m", explain_by=dimensions, aggregate=aggregate, config=config
+    )
+    labels = sorted(set(relation.column("t")))
+    start = labels[min(int(start_frac * (len(labels) - 1)), len(labels) - 2)]
+    routed_payload = result_to_json(routed_session.query().window(start, labels[-1]).run())
+    direct_payload = result_to_json(direct_session.query().window(start, labels[-1]).run())
+    routed_payload.pop("timings", None)  # wall clock is the one legit difference
+    direct_payload.pop("timings", None)
+    assert routed_payload == direct_payload
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    data=streaming_relations(),
+    target_agg=st.sampled_from(["sum", "count", "avg", "var"]),
+)
+def test_lattice_derivation_equals_scratch_build(data, target_agg):
+    """(b) Re-aggregating a finer rollup's ledger into a coarser shape is
+    byte-identical to building that shape from the relation."""
+    from repro.lattice import RollupSpec, derive_rollup
+
+    relation, dimensions, _ = data
+    if len(dimensions) < 2:
+        return  # nothing finer to derive from
+    finest = ExplanationCube(
+        relation, dimensions, "m", aggregate="var", max_order=2, appendable=True
+    )
+    for dims in [tuple(sorted(dimensions))] + [(d,) for d in dimensions]:
+        target = RollupSpec(dims=dims, measure="m", aggregate=target_agg, max_order=2)
+        derived = derive_rollup(finest, target)
+        scratch = ExplanationCube(
+            relation, dims, "m", aggregate=target_agg, max_order=2
+        )
+        _assert_cubes_byte_identical(derived, scratch)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    data=small_relations(),
+    aggregate=st.sampled_from(["sum", "count", "avg", "var"]),
+    chunk_rows=st.integers(1, 37),
+)
+def test_single_scan_lattice_equals_independent_builds(data, aggregate, chunk_rows):
+    """(c) One chunked scan feeding every lattice rollup yields exactly
+    the cubes N independent source builds would."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.lattice import build_lattice, default_lattice
+    from repro.store import NpzSource, write_npz
+
+    relation, dimensions = data
+    specs = default_lattice(dimensions, "m", aggregate=aggregate, max_order=2)
+    with tempfile.TemporaryDirectory() as tmp:
+        write_npz(relation, Path(tmp) / "r.npz")
+        source = NpzSource(Path(tmp) / "r.npz")
+        cubes, report = build_lattice(source, specs, chunk_rows=chunk_rows)
+        assert report.out_of_core
+        assert set(cubes) == set(specs)
+        independent = source.read()
+        for one, cube in cubes.items():
+            _assert_cubes_byte_identical(
+                cube,
+                ExplanationCube(
+                    independent, one.dims, "m", aggregate=aggregate, max_order=2
+                ),
+            )
+
+
 @settings(max_examples=20, deadline=None)
 @given(
     data=small_relations(),
