@@ -21,6 +21,7 @@ import json
 import time
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 import numpy as np
 
@@ -32,7 +33,9 @@ from repro.serve.http import ServeApp
 from repro.serve.registry import DatasetSpec, SessionRegistry
 from repro.serve.scheduler import QueryScheduler
 from repro.serve.sharding import ShardedBuilder
-from support import emit, is_paper_scale
+from support import emit, is_paper_scale, scale
+
+BENCH_JSON = Path(__file__).parent / "BENCH_serve.json"
 
 
 def _get_json(url: str):
@@ -167,6 +170,27 @@ def bench_serve_throughput(benchmark):
         "cold builds for the client herd: 1 (single-flight)",
     ]
     emit("serve_throughput", "\n".join(lines))
+    record = {
+        "scale": scale(),
+        "rows": dataset.relation.n_rows,
+        "cores": cores,
+        "clients": n_clients,
+        "requests": n_requests,
+        "sharded_build": {
+            "one_shot_ms": round(one_shot_seconds * 1000, 3),
+            "sharded_ms": round(sharded_seconds * 1000, 3),
+            "speedup": round(build_speedup, 2),
+            "byte_identical": True,
+        },
+        "http": {
+            "cold_ms": round(cold_seconds * 1000, 3),
+            "warm_p50_ms": round(p50 * 1000, 3),
+            "warm_p95_ms": round(p95 * 1000, 3),
+            "throughput_rps": round(throughput, 1),
+            "cold_builds": 1,
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     benchmark.extra_info["build_speedup"] = round(build_speedup, 2)
     benchmark.extra_info["cores"] = cores
     benchmark.extra_info["throughput_rps"] = round(throughput, 1)

@@ -18,12 +18,16 @@ growing synthetic stream:
    under the rebuild, whose cost tracks the total length.
 """
 
+import json
 import time
+from pathlib import Path
 
 from repro.core.config import ExplainConfig
 from repro.core.streaming import StreamingExplainer
 from repro.datasets.synthetic import generate_synthetic
-from support import emit, is_paper_scale
+from support import emit, is_paper_scale, scale
+
+BENCH_JSON = Path(__file__).parent / "BENCH_streaming.json"
 
 
 def _top_k_fingerprint(result):
@@ -135,5 +139,18 @@ def bench_streaming_append(benchmark):
     ]
     emit("streaming_append", "\n".join(lines))
     benchmark.extra_info["streaming_speedup"] = round(speedup, 1)
+
+    record = {
+        "scale": scale(),
+        "rows": explainer.relation.n_rows,
+        "n_points": len(incremental.series),
+        "categories": n_categories,
+        "full_rebuild_ms": round(rebuild_best * 1000, 3),
+        "warm_update_1day_ms": round(update_best * 1000, 3),
+        "warm_update_2day_ms": round(two_day_seconds * 1000, 3),
+        "speedup": round(speedup, 1),
+        "byte_identical_top_k": True,
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
 
     assert speedup >= 10.0

@@ -17,6 +17,16 @@ Commands
     Classic two-relations diff between two timestamps.
 ``recommend``
     Rank candidate explain-by attributes for a query.
+``detect``
+    Streaming anomaly detection over the prepared cube
+    (:mod:`repro.detect`): tiered day-of-week rolling baselines score
+    every ``(candidate, timestamp)`` cell.  ``scan`` reports the
+    anomalies, ``plan`` groups them into a reviewable JSON suppression
+    plan cross-linked to the top explanations, ``apply`` executes a
+    reviewed plan (suppress / correct / ignore) and can re-explain the
+    corrected data, and ``follow`` tails a CSV like ``explain --follow``
+    but scores each delta incrementally — only the touched baseline
+    columns are rescored.
 ``datasets``
     List the bundled datasets.
 ``cache``
@@ -75,6 +85,12 @@ Examples
     python -m repro serve --datasets covid-total,npz:sales.npz --port 8765 \\
         --cache-dir ./cube-cache --build-shards 4 --lattice
     curl 'http://127.0.0.1:8765/explain?dataset=covid-total'
+    python -m repro detect scan --dataset covid-daily --top 10
+    python -m repro detect plan --dataset covid-daily --out plan.json
+    python -m repro detect apply --dataset covid-daily --plan plan.json \\
+        --write-csv corrected.csv --explain
+    python -m repro detect follow --csv live.csv --time day \\
+        --dimensions region --measure revenue --poll-interval 2
 """
 
 from __future__ import annotations
@@ -82,6 +98,7 @@ from __future__ import annotations
 import argparse
 import csv as _csv
 import io
+import json as _json
 import os
 import sys
 import time as _time
@@ -96,7 +113,7 @@ from repro.cube.cache import RollupCache, cube_key
 from repro.datasets.base import Dataset
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.exceptions import ReproError, SchemaError
-from repro.relation.csvio import coerce_csv_columns, read_csv
+from repro.relation.csvio import coerce_csv_columns, read_csv, write_csv
 from repro.relation.schema import Schema
 from repro.relation.table import Relation
 from repro.store import (
@@ -442,16 +459,16 @@ def _rows_to_relation(
     return Relation(coerce_csv_columns(raw, schema), schema)
 
 
-def _follow_explain(args: argparse.Namespace) -> int:
-    if not args.csv:
-        raise ReproError("--follow requires --csv (bundled datasets are static)")
-    if not (args.time and args.dimensions and args.measure):
-        raise ReproError("--csv requires --time, --dimensions and --measure")
-    dimensions = _split_names(args.dimensions)
-    path = args.csv
+def _tail_bootstrap(
+    args: argparse.Namespace, dimensions: list[str]
+) -> tuple[list[str], Relation, int]:
+    """Wait for a followed CSV's header and first two timestamps.
 
-    # tail -f semantics: a just-created file may not have its header (or
-    # enough rows to segment) yet — wait for the producer, don't error.
+    tail -f semantics: a just-created file may not have its header (or
+    enough rows to segment) yet — wait for the producer, don't error.
+    Returns ``(fieldnames, initial_relation, byte_offset)``.
+    """
+    path = args.csv
     waiting_announced = False
     header_chunk, offset = _complete_lines(path, 0)
     while not header_chunk:
@@ -495,6 +512,21 @@ def _follow_explain(args: argparse.Namespace) -> int:
             initial = initial.concat(
                 _rows_to_relation(chunk, fieldnames, dimensions, args.measure, args.time)
             )
+    return fieldnames, initial, offset
+
+
+def _require_followable(args: argparse.Namespace) -> list[str]:
+    if not args.csv:
+        raise ReproError("--follow requires --csv (bundled datasets are static)")
+    if not (args.time and args.dimensions and args.measure):
+        raise ReproError("--csv requires --time, --dimensions and --measure")
+    return _split_names(args.dimensions)
+
+
+def _follow_explain(args: argparse.Namespace) -> int:
+    dimensions = _require_followable(args)
+    path = args.csv
+    fieldnames, initial, offset = _tail_bootstrap(args, dimensions)
     dataset = Dataset(
         name=path,
         relation=initial,
@@ -556,6 +588,184 @@ def _command_recommend(args: argparse.Namespace) -> int:
     )
     for score in session.recommend(m=args.m or 3):
         print(score.row())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# detect: tiered-baseline anomaly scanning and suppression plans
+# ----------------------------------------------------------------------
+def _detect_config(args: argparse.Namespace) -> "DetectConfig":
+    from repro.detect import DetectConfig
+
+    overrides: dict = {}
+    if args.z_warn is not None:
+        overrides["z_warn"] = args.z_warn
+    if args.z_alert is not None:
+        overrides["z_alert"] = args.z_alert
+    if args.z_critical is not None:
+        overrides["z_critical"] = args.z_critical
+    if args.min_volume is not None:
+        overrides["min_volume"] = args.min_volume
+    if args.min_deviation is not None:
+        overrides["min_deviation"] = args.min_deviation
+    if args.direction is not None:
+        overrides["direction"] = args.direction
+    if args.top is not None:
+        overrides["max_cells"] = args.top
+    return DetectConfig().override(**overrides)
+
+
+def _detect_explain_config(args: argparse.Namespace) -> ExplainConfig:
+    overrides: dict = {}
+    if getattr(args, "cache_dir", None):
+        overrides["cache_dir"] = args.cache_dir
+    if getattr(args, "max_order", None) is not None:
+        overrides["max_order"] = args.max_order
+    return ExplainConfig.optimized(**overrides)
+
+
+def _print_detect_report(report) -> None:
+    for cell in report.cells:
+        print(f"  {cell.describe()}")
+    counts = report.counts()
+    truncated = f" (+{report.truncated} over the --top cap)" if report.truncated else ""
+    print(
+        f"{len(report.cells)} anomalous cell(s){truncated}: "
+        f"{counts['critical']} critical, {counts['alert']} alert, "
+        f"{counts['warn']} warn — {report.cells_scored} cells over "
+        f"{report.columns_scored} column(s) scored, "
+        f"{report.columns_abstained} column(s) abstained"
+    )
+
+
+def _detect_session(
+    args: argparse.Namespace,
+    dataset: Dataset,
+    time_attr: str | None = None,
+) -> "DetectSession":
+    from repro.detect import DetectSession
+
+    session = ExplainSession(
+        dataset.relation,
+        measure=dataset.measure,
+        explain_by=_explain_by(args, dataset),
+        aggregate=dataset.aggregate,
+        time_attr=time_attr,
+        config=_detect_explain_config(args),
+    )
+    return DetectSession(session, config=_detect_config(args))
+
+
+def _command_detect(args: argparse.Namespace) -> int:
+    if args.action == "apply":
+        return _detect_apply(args)
+    if args.action == "follow":
+        return _detect_follow(args)
+    # scan / plan share the one-shot path; plan additionally reviews.
+    dataset = _load_source(args)
+    detect = _detect_session(args, dataset)
+    report = detect.scan()
+    print(f"== {dataset.name}: baseline scan ==")
+    _print_detect_report(report)
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            _json.dumps(report.to_json(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote scan report to {args.json}")
+    if args.action == "plan" or args.out:
+        plan = detect.plan(report, link=not args.no_link, source=dataset.name)
+        if args.out:
+            plan.save(args.out)
+            print(
+                f"wrote suppression plan ({len(plan.entries)} entr"
+                f"{'y' if len(plan.entries) == 1 else 'ies'}) to {args.out}"
+            )
+        else:
+            print(plan.describe())
+    return 0
+
+
+def _detect_follow(args: argparse.Namespace) -> int:
+    """``detect follow``: tail a CSV and score each delta incrementally."""
+    dimensions = _require_followable(args)
+    path = args.csv
+    fieldnames, initial, offset = _tail_bootstrap(args, dimensions)
+    dataset = Dataset(
+        name=path,
+        relation=initial,
+        measure=args.measure,
+        explain_by=tuple(dimensions),
+        aggregate=args.aggregate or "sum",
+    )
+    detect = _detect_session(args, dataset, time_attr=args.time)
+    report = detect.scan()
+    print(
+        f"== {path}: initial scan "
+        f"({detect.baselines.n_times} points) =="
+    )
+    _print_detect_report(report)
+
+    updates = 0
+    while args.max_updates is None or updates < args.max_updates:
+        _time.sleep(args.poll_interval)
+        chunk, offset = _complete_lines(path, offset)
+        if not chunk:
+            continue
+        delta = _rows_to_relation(
+            chunk, fieldnames, dimensions, args.measure, args.time
+        )
+        if delta.n_rows == 0:
+            continue
+        update = detect.append(delta)
+        updates += 1
+        print(
+            f"\n== update {updates}: +{delta.n_rows} rows, "
+            f"{update.recomputed_columns} column(s) rescored =="
+        )
+        _print_detect_report(update.report)
+    if args.out:
+        # The exit plan reviews the full axis, so anomalies from every
+        # update (and the initial scan) land in one reviewable artifact.
+        plan = detect.plan(link=not args.no_link, source=path)
+        plan.save(args.out)
+        print(
+            f"wrote suppression plan ({len(plan.entries)} entr"
+            f"{'y' if len(plan.entries) == 1 else 'ies'}) to {args.out}"
+        )
+    return 0
+
+
+def _detect_apply(args: argparse.Namespace) -> int:
+    """``detect apply``: execute a reviewed plan, explain the corrected data."""
+    from repro.detect import SuppressionPlan, apply_plan
+
+    if not args.plan:
+        raise ReproError("detect apply requires --plan <plan.json>")
+    plan = SuppressionPlan.load(args.plan)
+    dataset = _load_source(args)
+    applied = apply_plan(plan, dataset.relation)
+    print(applied.describe())
+    for missed in applied.missed_entries:
+        print(f"  no rows matched: {missed}", file=sys.stderr)
+    if args.write_csv:
+        write_csv(applied.corrected, args.write_csv)
+        print(
+            f"wrote corrected relation ({applied.corrected.n_rows} rows) "
+            f"to {args.write_csv}"
+        )
+    if args.explain:
+        session = ExplainSession(
+            applied.corrected,
+            measure=plan.measure,
+            explain_by=plan.explain_by or _explain_by(args, dataset),
+            aggregate=plan.aggregate,
+            config=_detect_explain_config(args),
+        )
+        result = session.explain()
+        print("\n== corrected relation, explained ==")
+        print(explanation_table(result))
     return 0
 
 
@@ -918,6 +1128,93 @@ def build_parser() -> argparse.ArgumentParser:
     _add_source_arguments(recommend)
     recommend.add_argument("--m", type=int, help="probe quota (default 3)")
     recommend.set_defaults(handler=_command_recommend)
+
+    detect = commands.add_parser(
+        "detect",
+        help="tiered-baseline anomaly detection and suppression plans",
+    )
+    detect.add_argument(
+        "action",
+        choices=("scan", "follow", "plan", "apply"),
+        help="scan: score every cube cell against its rolling baseline; "
+        "follow: tail a CSV and score each delta incrementally; "
+        "plan: scan and emit a reviewable suppression plan; "
+        "apply: execute a reviewed plan against the data",
+    )
+    _add_source_arguments(detect)
+    thresholds = detect.add_argument_group("detector thresholds")
+    thresholds.add_argument(
+        "--z-warn", type=float, help="warn threshold on |z| (default 2.5)"
+    )
+    thresholds.add_argument(
+        "--z-alert", type=float, help="alert threshold on |z| (default 3.5)"
+    )
+    thresholds.add_argument(
+        "--z-critical", type=float, help="critical threshold on |z| (default 6.0)"
+    )
+    thresholds.add_argument(
+        "--min-volume",
+        type=float,
+        help="skip cells where both |baseline| and |value| are below this",
+    )
+    thresholds.add_argument(
+        "--min-deviation",
+        type=float,
+        help="skip cells whose |value - baseline| is below this",
+    )
+    thresholds.add_argument(
+        "--direction",
+        choices=("both", "spike", "drop"),
+        help="restrict to spikes (above baseline) or drops (default both)",
+    )
+    thresholds.add_argument(
+        "--top",
+        type=int,
+        help="report at most this many cells, most severe first (default 200)",
+    )
+    detect.add_argument(
+        "--cache-dir",
+        help="rollup-cache directory for the underlying explain session",
+    )
+    detect.add_argument(
+        "--max-order", type=int, help="candidate order threshold (default 3)"
+    )
+    detect.add_argument(
+        "--json", help="also write the scan report as JSON to this path"
+    )
+    detect.add_argument(
+        "--out", help="write the suppression plan as JSON to this path"
+    )
+    detect.add_argument(
+        "--no-link",
+        action="store_true",
+        help="skip cross-linking plan entries to their top explanations",
+    )
+    applying = detect.add_argument_group("apply")
+    applying.add_argument("--plan", help="suppression-plan JSON to apply")
+    applying.add_argument(
+        "--write-csv", help="write the corrected relation as CSV to this path"
+    )
+    applying.add_argument(
+        "--explain",
+        action="store_true",
+        help="re-explain the corrected relation after applying the plan",
+    )
+    following = detect.add_argument_group("streaming (follow, --csv sources only)")
+    following.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds between polls of the followed CSV (default 1.0)",
+    )
+    following.add_argument(
+        "--max-updates",
+        type=int,
+        default=None,
+        help="stop following after this many updates (default: run until "
+        "interrupted)",
+    )
+    detect.set_defaults(handler=_command_detect)
 
     cache = commands.add_parser("cache", help="manage the persistent rollup cache")
     cache.add_argument(

@@ -576,6 +576,16 @@ class ExplainSession:
             return self._append_locked(delta)
 
     def _append_locked(self, delta: Relation) -> AppendInfo | None:
+        if delta.n_rows == 0:
+            # A poll tick with no new rows: touch nothing — no relation
+            # concat (O(n) array copies), no cube drop, no scorer-LRU
+            # invalidation, and a lazy (source-backed) relation is not
+            # forced.  The prepared path still reports a no-op
+            # AppendInfo (and validates the delta schema) through the
+            # ledger's own empty-delta shortcut.
+            if self._cube is not None and self._cube.appendable:
+                return self._cube.append(delta)
+            return None
         new_relation = self.relation.concat(delta)
         info: AppendInfo | None = None
         if self._cube is not None and self._cube.appendable:

@@ -218,6 +218,13 @@ class StreamingExplainer:
         if self._result is None:
             self._relation = self._relation.concat(new_rows)
             return self.refresh()
+        if new_rows.n_rows == 0:
+            # A poll tick with no new rows is a cheap no-op: the cached
+            # result stands, the session's scorer LRU and the chained
+            # snapshot key are untouched (an empty delta folded into the
+            # chain would fork the fingerprint away from a replay that
+            # never saw the empty tick), and no pipeline re-run is paid.
+            return self._result
         session = self.session()
         info = self._apply_delta(session, new_rows)
         self._relation = session.relation

@@ -1,0 +1,54 @@
+"""Streaming anomaly detection over prepared explanation cubes.
+
+The monitoring workload on top of the reproduction: every ``(candidate,
+timestamp)`` cell of a prepared :class:`~repro.cube.datacube.ExplanationCube`
+is scored against a *tiered day-of-week rolling baseline* (28-day →
+14-day → 4-day window fallback with minimum-sample rules and a
+weekday/weekend split), anomalous cells are graded into severity tiers,
+and the result is grouped into a reviewable :class:`SuppressionPlan`
+whose suppress/correct recommendations can be applied to (and rolled
+back from) the underlying relation — the corrected relation feeds
+straight back into the explain path.
+
+:class:`DetectSession` rides on
+:meth:`~repro.core.session.ExplainSession.append`: each delta advances
+the baselines in O(delta) (:class:`TieredBaselines.advance`) and scores
+only the recomputed columns, so ``repro detect follow`` keeps pace with
+a tailed CSV without rescanning history.
+"""
+
+from repro.detect.baselines import SlotCalendar, TieredBaselines
+from repro.detect.scoring import (
+    AnomalyReport,
+    CellScore,
+    DetectConfig,
+    score_columns,
+    severity_of,
+)
+from repro.detect.session import DetectSession, DetectUpdate
+from repro.detect.suppression import (
+    AppliedPlan,
+    PlanEntry,
+    SuppressionPlan,
+    apply_plan,
+    build_plan,
+    recommend_action,
+)
+
+__all__ = [
+    "AnomalyReport",
+    "AppliedPlan",
+    "CellScore",
+    "DetectConfig",
+    "DetectSession",
+    "DetectUpdate",
+    "PlanEntry",
+    "SlotCalendar",
+    "SuppressionPlan",
+    "TieredBaselines",
+    "apply_plan",
+    "build_plan",
+    "recommend_action",
+    "score_columns",
+    "severity_of",
+]

@@ -1,0 +1,287 @@
+"""Tiered day-of-week rolling baselines over a cube's time axis.
+
+For every time position ``t`` the baseline samples are picked by a
+calendar-aware tier cascade:
+
+``28-day day-of-week`` → ``14-day day-of-week`` → ``4-day recency``
+
+* A **day-of-week tier** of width ``w`` samples the same weekday at
+  ``t - 7, t - 14, ... t - w`` days — weekly seasonality never pollutes
+  the baseline (Mondays are compared to Mondays).
+* The **recency tier** is the fallback for young or gappy histories: the
+  previous ``recency_window`` days restricted to ``t``'s *day class*
+  (weekday vs weekend), so a Saturday early in the stream is still never
+  baselined against weekdays.
+* Each tier needs its minimum-sample quota
+  (:class:`~repro.detect.scoring.DetectConfig`); when every tier is
+  under-sampled the column **abstains** (tier 0) and is never scored.
+
+Labels that parse as ISO dates get true calendar arithmetic (gaps in
+the axis shrink the available samples instead of silently shifting
+them); any other label scheme falls back to a positional calendar
+(position = day, ``position % 7`` = weekday).
+
+:class:`TieredBaselines` is an *updatable state object*: a full
+construction scans every column once, and :meth:`TieredBaselines.advance`
+recomputes only the columns a
+:class:`~repro.cube.delta.AppendInfo` could have affected — everything
+from ``first_changed_position`` on — so a streaming tail append costs
+O(delta), not O(history).  Column recomputation is the **same routine**
+in both paths, so incremental state is byte-identical to a one-shot
+rebuild (the property suite asserts this across SUM/COUNT/AVG/VAR).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import TYPE_CHECKING, Hashable, Sequence
+
+import numpy as np
+
+from repro.detect.scoring import DetectConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cube.datacube import ExplanationCube
+    from repro.cube.delta import AppendInfo
+
+
+def _parse_ordinal(label: Hashable) -> int | None:
+    """The proleptic-Gregorian ordinal of an ISO-date label, else None."""
+    if isinstance(label, datetime.date):
+        return label.toordinal()
+    try:
+        return datetime.date.fromisoformat(str(label)).toordinal()
+    except ValueError:
+        return None
+
+
+class SlotCalendar:
+    """Maps time labels to calendar slots (day ordinal, weekday).
+
+    ``mode`` is ``"date"`` when every label parses as an ISO date (real
+    calendar arithmetic) and ``"positional"`` otherwise (position =
+    ordinal, ``ordinal % 7`` = weekday).  The mapping is extended
+    incrementally as the axis grows; a single unparseable new label
+    flips the whole calendar to positional — :meth:`extend` reports the
+    flip so the owner can rebuild dependent state.
+    """
+
+    __slots__ = ("mode", "ordinals", "weekdays", "_pos_by_ordinal", "_n")
+
+    def __init__(self, labels: Sequence[Hashable]):
+        self.mode = "date"
+        self.ordinals: list[int] = []
+        self.weekdays: list[int] = []
+        self._pos_by_ordinal: dict[int, int] = {}
+        self._n = 0
+        self.extend(labels)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def extend(self, labels: Sequence[Hashable]) -> bool:
+        """Absorb the axis suffix beyond what is already mapped.
+
+        Returns ``True`` when the calendar *mode flipped* to positional
+        (an unparseable or colliding new label): every slot assignment
+        changed, so baselines derived from the old mapping are stale.
+        """
+        suffix = labels[self._n :]
+        if not suffix:
+            return False
+        flipped = False
+        if self.mode == "date":
+            ordinals = [_parse_ordinal(label) for label in suffix]
+            if (
+                all(o is not None for o in ordinals)
+                and len(set(ordinals)) == len(ordinals)
+                and not any(o in self._pos_by_ordinal for o in ordinals)
+            ):
+                for offset, ordinal in enumerate(ordinals):
+                    position = self._n + offset
+                    self.ordinals.append(ordinal)
+                    # toordinal() % 7 maps Monday to 1; shift to the
+                    # weekday() convention (Monday 0 ... Sunday 6).
+                    self.weekdays.append((ordinal - 1) % 7)
+                    self._pos_by_ordinal[ordinal] = position
+                self._n = len(labels)
+                return False
+            # Fall back to the positional calendar for the whole axis.
+            # Only a *re*mapping of existing slots counts as a flip —
+            # an unparseable label on the very first build is just the
+            # positional calendar from the start.
+            flipped = self._n > 0
+            self.mode = "positional"
+            self.ordinals = []
+            self.weekdays = []
+            self._pos_by_ordinal = {}
+            self._n = 0
+        for position in range(self._n, len(labels)):
+            self.ordinals.append(position)
+            self.weekdays.append(position % 7)
+            self._pos_by_ordinal[position] = position
+        self._n = len(labels)
+        return flipped
+
+    # ------------------------------------------------------------------
+    def samples_for(
+        self, position: int, config: DetectConfig
+    ) -> tuple[int, list[int]]:
+        """``(window_days, sample_positions)`` for one column; 0 = abstain.
+
+        The tier cascade: widest day-of-week window whose same-weekday
+        quota is met, else the recency window over the same day class.
+        """
+        ordinal = self.ordinals[position]
+        lookup = self._pos_by_ordinal.get
+        for window, minimum in zip(config.dow_windows, config.dow_min_samples):
+            samples = []
+            for days_back in range(7, window + 1, 7):
+                found = lookup(ordinal - days_back)
+                if found is not None and found < position:
+                    samples.append(found)
+            if len(samples) >= minimum:
+                samples.reverse()  # ascending time order
+                return window, samples
+        weekend = self.weekdays[position] >= 5
+        samples = []
+        for days_back in range(config.recency_window, 0, -1):
+            found = lookup(ordinal - days_back)
+            if (
+                found is not None
+                and found < position
+                and (self.weekdays[found] >= 5) == weekend
+            ):
+                samples.append(found)
+        if len(samples) >= config.recency_min_samples:
+            return config.recency_window, samples
+        return 0, []
+
+
+def _grow_columns(array: np.ndarray, n_columns: int) -> np.ndarray:
+    """``array`` zero-extended along its last axis to ``n_columns``."""
+    if array.shape[-1] >= n_columns:
+        return array
+    grown = np.zeros(array.shape[:-1] + (n_columns,), dtype=array.dtype)
+    grown[..., : array.shape[-1]] = array
+    return grown
+
+
+class TieredBaselines:
+    """Per-(candidate, column) rolling baseline state for one cube.
+
+    Attributes
+    ----------
+    mean / std:
+        ``(n_candidates, n_times)`` float64 — the baseline mean and
+        population standard deviation of each cell's tier samples
+        (zero where the column abstained).
+    tier:
+        ``(n_times,)`` int16 — the window days of the serving tier
+        (28 / 14 / 4 by default), 0 where the column abstained.
+    samples:
+        ``(n_times,)`` int16 — how many samples the serving tier found.
+
+    The object stays bound to the live cube: after
+    :meth:`~repro.core.session.ExplainSession.append` scatters a delta,
+    pass the resulting :class:`~repro.cube.delta.AppendInfo` to
+    :meth:`advance` and only the affected columns are recomputed.
+    """
+
+    def __init__(self, cube: "ExplanationCube", config: DetectConfig | None = None):
+        self._cube = cube
+        self._config = config or DetectConfig()
+        self._calendar: SlotCalendar | None = None
+        self.mean = np.zeros((0, 0))
+        self.std = np.zeros((0, 0))
+        self.tier = np.zeros(0, dtype=np.int16)
+        self.samples = np.zeros(0, dtype=np.int16)
+        self.rebuild()
+
+    @property
+    def cube(self) -> "ExplanationCube":
+        return self._cube
+
+    @property
+    def config(self) -> DetectConfig:
+        return self._config
+
+    @property
+    def n_times(self) -> int:
+        return self.tier.shape[0]
+
+    @property
+    def calendar_mode(self) -> str:
+        assert self._calendar is not None
+        return self._calendar.mode
+
+    # ------------------------------------------------------------------
+    def rebuild(self) -> np.ndarray:
+        """Full scan: recompute every column; returns the positions."""
+        cube = self._cube
+        n_candidates, n_times = cube.included_values.shape
+        self._calendar = SlotCalendar(cube.labels)
+        self.mean = np.zeros((n_candidates, n_times))
+        self.std = np.zeros((n_candidates, n_times))
+        self.tier = np.zeros(n_times, dtype=np.int16)
+        self.samples = np.zeros(n_times, dtype=np.int16)
+        positions = np.arange(n_times, dtype=np.intp)
+        for position in positions:
+            self._compute_column(int(position))
+        return positions
+
+    def advance(self, info: "AppendInfo | None") -> np.ndarray:
+        """Recompute the columns an append could have affected.
+
+        A baseline at ``t`` reads values strictly before ``t``, so a
+        delta changing values from ``first_changed_position`` on can
+        only affect columns at or after it — the recomputed range is
+        exactly ``[first_changed_position, n_times)``, i.e. O(delta)
+        for a tail append.  Candidate-set growth, a calendar-mode flip
+        or a missing :class:`~repro.cube.delta.AppendInfo` (the session
+        dropped its cube) degrade to :meth:`rebuild`.  Returns the
+        recomputed column positions (empty for a no-op delta).
+        """
+        if info is None:
+            return self.rebuild()
+        if info.is_noop:
+            return np.arange(0, dtype=np.intp)
+        cube = self._cube
+        n_candidates, n_times = cube.included_values.shape
+        if info.candidates_changed or n_candidates != self.mean.shape[0]:
+            return self.rebuild()
+        assert self._calendar is not None
+        if self._calendar.extend(cube.labels):
+            return self.rebuild()
+        self.mean = _grow_columns(self.mean, n_times)
+        self.std = _grow_columns(self.std, n_times)
+        self.tier = _grow_columns(self.tier, n_times)
+        self.samples = _grow_columns(self.samples, n_times)
+        first = min(info.first_changed_position, n_times)
+        positions = np.arange(first, n_times, dtype=np.intp)
+        for position in positions:
+            self._compute_column(int(position))
+        return positions
+
+    # ------------------------------------------------------------------
+    def _compute_column(self, position: int) -> None:
+        """(Re)compute one column — shared by rebuild and advance, so the
+        incremental path is byte-identical to a one-shot scan."""
+        assert self._calendar is not None
+        window, sample_positions = self._calendar.samples_for(position, self._config)
+        self.tier[position] = window
+        self.samples[position] = len(sample_positions)
+        if window == 0:
+            self.mean[:, position] = 0.0
+            self.std[:, position] = 0.0
+            return
+        gathered = self._cube.included_values[:, sample_positions]
+        self.mean[:, position] = gathered.mean(axis=1)
+        self.std[:, position] = gathered.std(axis=1)
+
+    def __repr__(self) -> str:
+        served = int(np.count_nonzero(self.tier))
+        return (
+            f"TieredBaselines(n_times={self.n_times}, served={served}, "
+            f"abstained={self.n_times - served}, mode={self.calendar_mode})"
+        )

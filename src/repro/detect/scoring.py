@@ -1,0 +1,352 @@
+"""Outlier detectors over the cells of a prepared explanation cube.
+
+Each ``(candidate, t)`` cell of the cube's ``included`` matrix is
+compared against its tiered rolling baseline
+(:class:`~repro.detect.baselines.TieredBaselines`):
+
+* **z-score** — ``(value - mean) / max(std, floor)`` where the floor is
+  the larger of an absolute epsilon and a fraction of the baseline mean,
+  so near-constant baselines cannot turn round-off into alarms;
+* **ratio** — ``value / mean`` (reported alongside, ``None`` when the
+  baseline mean is zero) for the "8x normal volume" reading humans
+  reason in.
+
+Severity is graded from the z-score through three configurable
+thresholds (``warn`` < ``alert`` < ``critical``); columns whose baseline
+abstained (no tier met its minimum-sample rule) are never scored — a
+cell with no history is *unknown*, not anomalous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cube.datacube import ExplanationCube
+    from repro.detect.baselines import TieredBaselines
+
+#: Severity grades, mildest first.
+SEVERITIES = ("warn", "alert", "critical")
+
+#: Directions a detector may be restricted to.
+DIRECTIONS = ("both", "spike", "drop")
+
+
+@dataclass(frozen=True)
+class DetectConfig:
+    """All knobs of the detect subsystem.
+
+    Attributes
+    ----------
+    dow_windows:
+        Day-of-week baseline windows in days, widest first (default
+        ``(28, 14)``: up to four same-weekday samples, then up to two).
+        Each must be a positive multiple of 7.
+    dow_min_samples:
+        Minimum same-weekday samples each window needs before it may
+        serve as the baseline (default ``(3, 2)`` — the 28-day tier
+        tolerates one missing week).
+    recency_window:
+        The last-resort tier: trailing window in days whose samples are
+        the previous days of the *same day class* (weekday vs weekend),
+        used when every day-of-week tier is under-sampled (default 4).
+    recency_min_samples:
+        Minimum samples the recency tier needs; below it the cell
+        abstains entirely (default 2).
+    z_warn / z_alert / z_critical:
+        Ascending absolute z-score thresholds for the severity grades.
+    min_deviation:
+        Absolute ``|value - mean|`` floor; smaller deviations are never
+        anomalous no matter the z-score (default 0.0).
+    min_volume:
+        Cells where both ``|mean|`` and ``|value|`` are below this are
+        skipped — too small to matter (default 0.0).
+    std_floor / std_floor_frac:
+        The z-score denominator is ``max(std, std_floor,
+        std_floor_frac * |mean|)``.  The default absolute floor of 1.0
+        (one unit of the measure) keeps a flat-zero baseline from
+        turning *any* movement into an unbounded z-score: a cell going
+        0 → 3 scores z = 3, not 3e9.
+    direction:
+        ``"both"``, ``"spike"`` (value above baseline only) or
+        ``"drop"``.
+    link_top:
+        How many explanations to cross-link per anomalous timestamp when
+        building a plan (default 3).
+    max_cells:
+        Cap on reported cells per scan, most severe first; the report
+        counts what the cap dropped (default 200).
+    """
+
+    dow_windows: tuple[int, ...] = (28, 14)
+    dow_min_samples: tuple[int, ...] = (3, 2)
+    recency_window: int = 4
+    recency_min_samples: int = 2
+    z_warn: float = 2.5
+    z_alert: float = 3.5
+    z_critical: float = 6.0
+    min_deviation: float = 0.0
+    min_volume: float = 0.0
+    std_floor: float = 1.0
+    std_floor_frac: float = 0.05
+    direction: str = "both"
+    link_top: int = 3
+    max_cells: int = 200
+
+    def __post_init__(self):
+        windows = tuple(self.dow_windows)
+        minimums = tuple(self.dow_min_samples)
+        object.__setattr__(self, "dow_windows", windows)
+        object.__setattr__(self, "dow_min_samples", minimums)
+        if len(windows) != len(minimums):
+            raise ConfigError(
+                f"dow_windows ({len(windows)}) and dow_min_samples "
+                f"({len(minimums)}) must pair up"
+            )
+        for window in windows:
+            if window <= 0 or window % 7:
+                raise ConfigError(
+                    f"day-of-week window {window} must be a positive multiple of 7"
+                )
+        if list(windows) != sorted(windows, reverse=True):
+            raise ConfigError(f"dow_windows {windows} must be widest-first")
+        for minimum in minimums + (self.recency_min_samples,):
+            if minimum < 1:
+                raise ConfigError("minimum-sample rules must be >= 1")
+        if self.recency_window < 1:
+            raise ConfigError(f"recency_window {self.recency_window} must be >= 1")
+        if not 0 < self.z_warn <= self.z_alert <= self.z_critical:
+            raise ConfigError(
+                "severity thresholds must satisfy 0 < z_warn <= z_alert <= z_critical"
+            )
+        if self.direction not in DIRECTIONS:
+            raise ConfigError(
+                f"direction {self.direction!r} must be one of {DIRECTIONS}"
+            )
+        if self.std_floor <= 0:
+            raise ConfigError("std_floor must be positive")
+        if self.std_floor_frac < 0 or self.min_deviation < 0 or self.min_volume < 0:
+            raise ConfigError("floors must be non-negative")
+        if self.max_cells < 1 or self.link_top < 0:
+            raise ConfigError("max_cells must be >= 1 and link_top >= 0")
+
+    def updated(self, **overrides) -> "DetectConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def override(self, **overrides) -> "DetectConfig":
+        """:meth:`updated`, but threshold-order preserving.
+
+        Raising only a lower tier ("report z >= 6") must not trip the
+        ordering check against the un-overridden tiers above it, so
+        those are lifted along; explicitly passed values always win and
+        still go through the full validation.
+        """
+        if "z_warn" in overrides:
+            warn = overrides["z_warn"]
+            overrides.setdefault("z_alert", max(warn, self.z_alert))
+            overrides.setdefault("z_critical", max(warn, self.z_critical))
+        if "z_alert" in overrides:
+            alert = overrides["z_alert"]
+            overrides.setdefault("z_critical", max(alert, self.z_critical))
+        return self.updated(**overrides)
+
+
+def severity_of(z: float, config: DetectConfig) -> str | None:
+    """The severity grade for an absolute z-score, ``None`` below warn."""
+    magnitude = abs(z)
+    if magnitude >= config.z_critical:
+        return "critical"
+    if magnitude >= config.z_alert:
+        return "alert"
+    if magnitude >= config.z_warn:
+        return "warn"
+    return None
+
+
+@dataclass(frozen=True)
+class CellScore:
+    """One anomalous ``(candidate, timestamp)`` cell with its evidence."""
+
+    candidate: int
+    explanation: str
+    items: tuple[tuple[str, object], ...]
+    position: int
+    label: str
+    value: float
+    baseline_mean: float
+    baseline_std: float
+    window_days: int
+    samples: int
+    z: float
+    ratio: float | None
+    severity: str
+    direction: str
+
+    def describe(self) -> str:
+        """One human-readable line (the CLI table row)."""
+        ratio = f" ({self.ratio:.2f}x)" if self.ratio is not None else ""
+        return (
+            f"{self.severity:<8s} z={self.z:+8.2f}{ratio}  "
+            f"{self.explanation} @ {self.label}  "
+            f"value={self.value:g} baseline={self.baseline_mean:g}"
+            f"±{self.baseline_std:g} [{self.window_days}d, "
+            f"n={self.samples}]"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "candidate": self.candidate,
+            "explanation": self.explanation,
+            "items": [[name, value] for name, value in self.items],
+            "position": self.position,
+            "label": self.label,
+            "value": self.value,
+            "baseline_mean": self.baseline_mean,
+            "baseline_std": self.baseline_std,
+            "window_days": self.window_days,
+            "samples": self.samples,
+            "z": self.z,
+            "ratio": self.ratio,
+            "severity": self.severity,
+            "direction": self.direction,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CellScore":
+        return cls(
+            candidate=int(payload["candidate"]),
+            explanation=payload["explanation"],
+            items=tuple((name, value) for name, value in payload["items"]),
+            position=int(payload["position"]),
+            label=payload["label"],
+            value=float(payload["value"]),
+            baseline_mean=float(payload["baseline_mean"]),
+            baseline_std=float(payload["baseline_std"]),
+            window_days=int(payload["window_days"]),
+            samples=int(payload["samples"]),
+            z=float(payload["z"]),
+            ratio=None if payload["ratio"] is None else float(payload["ratio"]),
+            severity=payload["severity"],
+            direction=payload["direction"],
+        )
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """The outcome of scoring a set of cube columns."""
+
+    cells: tuple[CellScore, ...]
+    columns_scored: int
+    columns_abstained: int
+    cells_scored: int
+    truncated: int
+
+    def counts(self) -> dict[str, int]:
+        """``{severity: count}`` over the reported cells."""
+        counts = {severity: 0 for severity in SEVERITIES}
+        for cell in self.cells:
+            counts[cell.severity] += 1
+        return counts
+
+    def to_json(self) -> dict:
+        return {
+            "columns_scored": self.columns_scored,
+            "columns_abstained": self.columns_abstained,
+            "cells_scored": self.cells_scored,
+            "truncated": self.truncated,
+            "counts": self.counts(),
+            "anomalies": [cell.to_json() for cell in self.cells],
+        }
+
+
+def score_columns(
+    cube: "ExplanationCube",
+    baselines: "TieredBaselines",
+    config: DetectConfig,
+    columns: Sequence[int] | np.ndarray | None = None,
+) -> AnomalyReport:
+    """Score the given cube columns (default: all) against the baselines.
+
+    Vectorized over the whole ``(candidate, column)`` block: one z matrix,
+    one severity mask.  Columns whose baseline tier abstained contribute
+    ``columns_abstained`` and are never scored.
+    """
+    values = cube.included_values
+    if columns is None:
+        columns = np.arange(cube.n_times, dtype=np.intp)
+    else:
+        columns = np.asarray(columns, dtype=np.intp)
+    active = columns[baselines.tier[columns] > 0] if columns.size else columns
+    abstained = int(columns.size - active.size)
+    if active.size == 0 or values.shape[0] == 0:
+        return AnomalyReport(
+            cells=(),
+            columns_scored=0,
+            columns_abstained=abstained,
+            cells_scored=0,
+            truncated=0,
+        )
+
+    block = values[:, active]
+    mean = baselines.mean[:, active]
+    std = baselines.std[:, active]
+    floor = np.maximum(config.std_floor, config.std_floor_frac * np.abs(mean))
+    z = (block - mean) / np.maximum(std, floor)
+    deviation = block - mean
+
+    anomalous = np.abs(z) >= config.z_warn
+    if config.min_deviation > 0:
+        anomalous &= np.abs(deviation) >= config.min_deviation
+    if config.min_volume > 0:
+        anomalous &= (np.abs(mean) >= config.min_volume) | (
+            np.abs(block) >= config.min_volume
+        )
+    if config.direction == "spike":
+        anomalous &= deviation > 0
+    elif config.direction == "drop":
+        anomalous &= deviation < 0
+
+    rows, cols = np.nonzero(anomalous)
+    order = np.argsort(-np.abs(z[rows, cols]), kind="stable")
+    truncated = max(0, order.size - config.max_cells)
+    order = order[: config.max_cells]
+
+    explanations = cube.explanations
+    labels = cube.labels
+    cells = []
+    for row, col in zip(rows[order], cols[order]):
+        position = int(active[col])
+        cell_mean = float(mean[row, col])
+        cell_value = float(block[row, col])
+        conjunction = explanations[row]
+        cells.append(
+            CellScore(
+                candidate=int(row),
+                explanation=repr(conjunction),
+                items=tuple(conjunction.items),
+                position=position,
+                label=str(labels[position]),
+                value=cell_value,
+                baseline_mean=cell_mean,
+                baseline_std=float(std[row, col]),
+                window_days=int(baselines.tier[position]),
+                samples=int(baselines.samples[position]),
+                z=float(z[row, col]),
+                ratio=(cell_value / cell_mean) if cell_mean != 0 else None,
+                severity=severity_of(float(z[row, col]), config),
+                direction="spike" if float(deviation[row, col]) > 0 else "drop",
+            )
+        )
+    return AnomalyReport(
+        cells=tuple(cells),
+        columns_scored=int(active.size),
+        columns_abstained=abstained,
+        cells_scored=int(block.size),
+        truncated=truncated,
+    )

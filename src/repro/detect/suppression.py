@@ -1,0 +1,299 @@
+"""Reviewable suppression plans over detected anomalies.
+
+Scoring surfaces anomalous cells; operators act on them.  A
+:class:`SuppressionPlan` groups every anomalous cell with a recommended
+action and the triggering evidence:
+
+``suppress``
+    Drop the cell's rows (critical anomalies — data too corrupted to
+    keep).
+``correct``
+    Rescale the cell's measure values so the cell aggregate lands on its
+    baseline mean (alert-grade anomalies under SUM/AVG; anything the
+    rescale cannot express honestly — COUNT cells, a zero actual —
+    degrades to ``suppress``).
+``ignore``
+    Keep the rows, keep the flag (warn-grade anomalies: reviewed, not
+    acted on).
+
+Plans serialize to JSON (``save``/``load``) so the review can happen
+out-of-band, and :func:`apply_plan` produces a **corrected Relation**
+that feeds straight back into the explain path.  Relations are
+immutable, so rollback is free: :class:`AppliedPlan` keeps the original
+binding and :meth:`AppliedPlan.rollback` returns it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.detect.scoring import CellScore
+from repro.exceptions import QueryError
+from repro.relation.table import Relation
+
+#: Actions a plan entry may recommend.
+ACTIONS = ("suppress", "correct", "ignore")
+
+#: Severity -> recommended action.
+_POLICY = {"critical": "suppress", "alert": "correct", "warn": "ignore"}
+
+#: Aggregates whose cells a measure rescale corrects exactly.
+_RESCALABLE = ("sum", "avg")
+
+
+def recommend_action(cell: CellScore, aggregate: str) -> tuple[str, str]:
+    """``(action, reason)`` for one anomalous cell.
+
+    Severity drives the policy (critical → suppress, alert → correct,
+    warn → ignore); a correction that cannot be expressed as a measure
+    rescale — non-SUM/AVG aggregates, or a zero actual value — degrades
+    to suppression, with the reason spelling out why.
+    """
+    action = _POLICY[cell.severity]
+    reason = (
+        f"{cell.severity}: |z|={abs(cell.z):.2f} vs baseline "
+        f"{cell.baseline_mean:g}±{cell.baseline_std:g} "
+        f"({cell.window_days}d window, n={cell.samples})"
+    )
+    if action == "correct" and aggregate not in _RESCALABLE:
+        return "suppress", reason + f"; {aggregate} cells cannot be rescaled"
+    if action == "correct" and cell.value == 0:
+        return "suppress", reason + "; zero actual cannot be rescaled"
+    return action, reason
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One anomalous cell with its recommendation and evidence."""
+
+    cell: CellScore
+    action: str
+    reason: str
+    linked_explanations: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        linked = (
+            f"  <- {', '.join(self.linked_explanations)}"
+            if self.linked_explanations
+            else ""
+        )
+        return f"{self.action:<8s} {self.cell.describe()}{linked}"
+
+    def to_json(self) -> dict:
+        return {
+            "cell": self.cell.to_json(),
+            "action": self.action,
+            "reason": self.reason,
+            "linked_explanations": list(self.linked_explanations),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "PlanEntry":
+        action = payload["action"]
+        if action not in ACTIONS:
+            raise QueryError(f"plan entry action {action!r} not in {ACTIONS}")
+        return cls(
+            cell=CellScore.from_json(payload["cell"]),
+            action=action,
+            reason=payload["reason"],
+            linked_explanations=tuple(payload.get("linked_explanations", ())),
+        )
+
+
+@dataclass(frozen=True)
+class SuppressionPlan:
+    """A reviewable batch of recommendations over one query's cube."""
+
+    measure: str
+    time_attr: str
+    aggregate: str
+    explain_by: tuple[str, ...]
+    entries: tuple[PlanEntry, ...]
+    source: str = ""
+
+    def counts(self) -> dict[str, int]:
+        counts = {action: 0 for action in ACTIONS}
+        for entry in self.entries:
+            counts[entry.action] += 1
+        return counts
+
+    def describe(self) -> str:
+        counts = self.counts()
+        header = (
+            f"suppression plan over {self.source or self.measure}: "
+            f"{len(self.entries)} entr{'y' if len(self.entries) == 1 else 'ies'} "
+            f"({counts['suppress']} suppress, {counts['correct']} correct, "
+            f"{counts['ignore']} ignore)"
+        )
+        return "\n".join([header] + [f"  {e.describe()}" for e in self.entries])
+
+    def to_json(self) -> dict:
+        return {
+            "measure": self.measure,
+            "time_attr": self.time_attr,
+            "aggregate": self.aggregate,
+            "explain_by": list(self.explain_by),
+            "source": self.source,
+            "counts": self.counts(),
+            "entries": [entry.to_json() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SuppressionPlan":
+        return cls(
+            measure=payload["measure"],
+            time_attr=payload["time_attr"],
+            aggregate=payload["aggregate"],
+            explain_by=tuple(payload["explain_by"]),
+            entries=tuple(
+                PlanEntry.from_json(entry) for entry in payload["entries"]
+            ),
+            source=payload.get("source", ""),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_json(), indent=2) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SuppressionPlan":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise QueryError(f"cannot load suppression plan {path}: {error}") from None
+        return cls.from_json(payload)
+
+
+def build_plan(
+    cells: Sequence[CellScore],
+    *,
+    measure: str,
+    time_attr: str,
+    aggregate: str,
+    explain_by: Sequence[str],
+    source: str = "",
+    links: dict[int, tuple[str, ...]] | None = None,
+) -> SuppressionPlan:
+    """Group scored cells into a plan; ``links`` maps cell positions to
+    the cross-linked explanation reprs for that timestamp's window."""
+    links = links or {}
+    entries = []
+    for cell in cells:
+        action, reason = recommend_action(cell, aggregate)
+        entries.append(
+            PlanEntry(
+                cell=cell,
+                action=action,
+                reason=reason,
+                linked_explanations=links.get(cell.position, ()),
+            )
+        )
+    return SuppressionPlan(
+        measure=measure,
+        time_attr=time_attr,
+        aggregate=aggregate,
+        explain_by=tuple(explain_by),
+        entries=tuple(entries),
+        source=source,
+    )
+
+
+# ----------------------------------------------------------------------
+# Applying a plan to a relation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AppliedPlan:
+    """The outcome of :func:`apply_plan`, with free rollback."""
+
+    corrected: Relation
+    original: Relation
+    suppressed_rows: int
+    corrected_rows: int
+    ignored_entries: int
+    missed_entries: tuple[str, ...] = field(default=())
+
+    def rollback(self) -> Relation:
+        """The pre-plan relation (relations are immutable — free)."""
+        return self.original
+
+    def describe(self) -> str:
+        missed = (
+            f", {len(self.missed_entries)} matched no rows"
+            if self.missed_entries
+            else ""
+        )
+        return (
+            f"applied: {self.suppressed_rows} row(s) suppressed, "
+            f"{self.corrected_rows} rescaled, "
+            f"{self.ignored_entries} entr{'y' if self.ignored_entries == 1 else 'ies'} "
+            f"ignored{missed}"
+        )
+
+
+def _cell_mask(relation: Relation, cell: CellScore, time_attr: str) -> np.ndarray:
+    """Rows of ``relation`` inside the cell's (conjunction, timestamp)."""
+    mask = _column_equals(relation.column(time_attr), cell.label)
+    for attribute, value in cell.items:
+        mask &= _column_equals(relation.column(attribute), value)
+    return mask
+
+
+def _column_equals(column: np.ndarray, value) -> np.ndarray:
+    """Equality robust to the str round-trip a JSON-loaded plan took."""
+    mask = column == value
+    mask = np.asarray(mask, dtype=bool)
+    if not mask.any():
+        mask = column.astype(str) == str(value)
+    return mask
+
+
+def apply_plan(plan: SuppressionPlan, relation: Relation) -> AppliedPlan:
+    """Execute a plan's recommendations against a relation.
+
+    ``suppress`` drops the cell's rows; ``correct`` rescales the cell's
+    measure values by ``baseline_mean / actual`` (exact for SUM and AVG
+    cells — :func:`recommend_action` never recommends ``correct``
+    elsewhere); ``ignore`` keeps the rows.  Entries whose cell matches
+    no rows (the relation moved on since the scan) are reported, not
+    silently skipped.
+    """
+    if plan.measure not in relation.schema:
+        raise QueryError(
+            f"plan measure {plan.measure!r} is not a column of the relation"
+        )
+    values = relation.column(plan.measure).astype(np.float64).copy()
+    keep = np.ones(relation.n_rows, dtype=bool)
+    suppressed = corrected = ignored = 0
+    missed: list[str] = []
+    for entry in plan.entries:
+        if entry.action == "ignore":
+            ignored += 1
+            continue
+        mask = _cell_mask(relation, entry.cell, plan.time_attr)
+        matched = int(np.count_nonzero(mask))
+        if matched == 0:
+            missed.append(f"{entry.cell.explanation} @ {entry.cell.label}")
+            continue
+        if entry.action == "suppress" or entry.cell.value == 0:
+            keep &= ~mask
+            suppressed += matched
+        else:
+            values[mask] *= entry.cell.baseline_mean / entry.cell.value
+            corrected += matched
+    columns = relation.columns()
+    columns[plan.measure] = values
+    rescaled = Relation(columns, relation.schema)
+    return AppliedPlan(
+        corrected=rescaled.take(np.flatnonzero(keep)),
+        original=relation,
+        suppressed_rows=suppressed,
+        corrected_rows=corrected,
+        ignored_entries=ignored,
+        missed_entries=tuple(missed),
+    )

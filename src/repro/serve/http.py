@@ -12,6 +12,10 @@ writes JSON.  Endpoints:
     Two-point diff between two timestamp labels.
 ``GET /recommend?dataset=NAME[&m=..]``
     Rank the dataset's candidate explain-by attributes.
+``GET /detect?dataset=NAME[&z_warn=..&z_alert=..&z_critical=..&min_deviation=..&min_volume=..&direction=both|spike|drop&top=..&plan=0|1]``
+    Score every cube cell against its tiered rolling baseline
+    (:mod:`repro.detect`); with ``plan=1`` the response also carries a
+    reviewable suppression plan cross-linked to the top explanations.
 ``GET /datasets``
     Registered datasets with residency info.
 ``GET /stats``
@@ -35,10 +39,16 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.datasets.registry import available_datasets
 from repro.exceptions import QueryError, ReproError
-from repro.serve.jsonio import diff_to_json, recommend_to_json, result_to_json
+from repro.serve.jsonio import (
+    detect_to_json,
+    diff_to_json,
+    recommend_to_json,
+    result_to_json,
+)
 from repro.serve.registry import DatasetSpec, SessionRegistry
 from repro.serve.scheduler import (
     DEFAULT_QUERY_WORKERS,
+    DETECT_OVERRIDE_TYPES,
     QUERY_OVERRIDE_TYPES,
     QueryScheduler,
 )
@@ -65,6 +75,21 @@ def _explain_param_table() -> dict[str, tuple[str, type]]:
 
 
 _EXPLAIN_TABLE = _explain_param_table()
+
+#: Query-string spellings for /detect that differ from the scheduler name.
+_DETECT_QS_NAME = {"max_cells": "top"}
+
+
+def _detect_param_table() -> dict[str, tuple[str, type]]:
+    """``{query-string name: (scheduler parameter, type)}`` for /detect,
+    derived from ``DETECT_OVERRIDE_TYPES`` like the /explain table."""
+    return {
+        _DETECT_QS_NAME.get(field, field): (field, kind)
+        for field, kind in DETECT_OVERRIDE_TYPES.items()
+    }
+
+
+_DETECT_TABLE = _detect_param_table()
 
 
 def _coerce(name: str, raw: str, kind: type):
@@ -240,7 +265,7 @@ class ServeApp:
                 },
                 200,
             )
-        if path in ("/explain", "/diff", "/recommend"):
+        if path in ("/explain", "/diff", "/recommend", "/detect"):
             dataset = params.pop("dataset", None)
             if not dataset:
                 raise QueryError(f"{path} requires a dataset parameter")
@@ -258,6 +283,8 @@ class ServeApp:
     def _query(self, kind: str, dataset: str, params: dict[str, str]) -> dict:
         if kind == "explain":
             known = _EXPLAIN_TABLE
+        elif kind == "detect":
+            known = _DETECT_TABLE
         elif kind == "diff":
             known = {"start": ("start", str), "stop": ("stop", str), "m": ("m", int)}
         else:
@@ -274,6 +301,8 @@ class ServeApp:
         outcome = self.scheduler.execute(kind, dataset, **converted)
         if kind == "explain":
             return result_to_json(outcome)
+        if kind == "detect":
+            return detect_to_json(outcome)
         if kind == "diff":
             return diff_to_json(outcome)
         return recommend_to_json(outcome)

@@ -14,6 +14,8 @@ from typing import Sequence
 
 from repro.core.recommend import AttributeScore
 from repro.core.result import ExplainResult, SegmentExplanation
+from repro.detect.scoring import AnomalyReport
+from repro.detect.suppression import SuppressionPlan
 from repro.diff.scorer import ScoredExplanation
 
 
@@ -57,6 +59,20 @@ def result_to_json(result: ExplainResult) -> dict:
 
 def diff_to_json(scored: Sequence[ScoredExplanation]) -> dict:
     return {"explanations": [scored_to_json(s) for s in scored]}
+
+
+def detect_to_json(outcome: "tuple[AnomalyReport, SuppressionPlan | None]") -> dict:
+    """The ``/detect`` payload: the scan report, plus the plan if asked.
+
+    Both objects already define their JSON forms (the same documents the
+    CLI writes with ``--json`` / ``--out``), so an anomaly surfaced over
+    HTTP and one surfaced from the command line compare byte-for-byte.
+    """
+    report, plan = outcome
+    payload = {"report": report.to_json()}
+    if plan is not None:
+        payload["plan"] = plan.to_json()
+    return payload
 
 
 def recommend_to_json(scores: Sequence[AttributeScore]) -> dict:

@@ -37,6 +37,7 @@ from repro.core.session import ExplainSession
 from repro.cube.cache import RollupCache
 from repro.datasets.base import Dataset
 from repro.datasets.registry import available_datasets, load_dataset
+from repro.detect.session import DetectSession
 from repro.exceptions import QueryError
 from repro.lattice.router import LatticeRouter
 from repro.serve.sharding import ShardedBuilder
@@ -214,6 +215,10 @@ class SessionRegistry:
         # One lattice router per data fingerprint, shared by every spec
         # over the same data (created lazily by the first lattice spec).
         self._routers: dict[str, LatticeRouter] = {}
+        # One detect tier per dataset, built lazily on the first /detect
+        # and dropped whenever its underlying session is (the baselines
+        # are derived state — rebuilt from the fresh cube on demand).
+        self._detectors: dict[str, DetectSession] = {}
         for spec in specs:
             self.register(spec)
 
@@ -231,6 +236,7 @@ class SessionRegistry:
         with self._lock:
             self._specs[spec.name] = spec
             self._entries.pop(spec.name, None)
+            self._detectors.pop(spec.name, None)
 
     def names(self) -> tuple[str, ...]:
         with self._lock:
@@ -284,18 +290,42 @@ class SessionRegistry:
         with self._lock:
             self._live_entry(name)
 
+    def detect_session(self, name: str) -> DetectSession:
+        """The detect tier over ``name``'s prepared session (lazy, cached).
+
+        Keyed on the *session object*: when the LRU evicted and rebuilt
+        the dataset's session, the cached detector is stale and a fresh
+        one (baselines rebuilt over the new cube) replaces it.
+        """
+        session = self.session(name)
+        with self._lock:
+            detector = self._detectors.get(name)
+            if detector is not None and detector.session is session:
+                return detector
+        # Baseline construction scans the whole cube; build it outside
+        # the registry lock so other datasets stay servable meanwhile.
+        detector = DetectSession(session)
+        with self._lock:
+            current = self._detectors.get(name)
+            if current is not None and current.session is session:
+                return current  # a racer built it first; adopt theirs
+            self._detectors[name] = detector
+            return detector
+
     # ------------------------------------------------------------------
     # Maintenance and introspection
     # ------------------------------------------------------------------
     def evict(self, name: str) -> bool:
         """Drop a resident session (the spec stays registered)."""
         with self._lock:
+            self._detectors.pop(name, None)
             return self._entries.pop(name, None) is not None
 
     def clear(self) -> None:
         """Drop every resident session."""
         with self._lock:
             self._entries.clear()
+            self._detectors.clear()
 
     def sweep(self) -> int:
         """Drop every TTL-expired session; returns how many were dropped."""
@@ -310,6 +340,7 @@ class SessionRegistry:
             ]
             for name in expired:
                 del self._entries[name]
+                self._detectors.pop(name, None)
             self._stats.expirations += len(expired)
             return len(expired)
 
@@ -363,8 +394,26 @@ class SessionRegistry:
                 cache_dir=self._cache_dir,
                 sharded_builds=self._builder is not None,
                 lattice=self.lattice_stats(),
+                detect=self.detect_stats(),
             )
             return payload
+
+    def detect_stats(self) -> dict:
+        """Aggregated detect-tier counters (the ``/stats`` detect key)."""
+        with self._lock:
+            detectors = list(self._detectors.values())
+        totals = {
+            "sessions": len(detectors),
+            "scans": 0,
+            "appends": 0,
+            "cells_scored": 0,
+            "anomalies": 0,
+        }
+        for detector in detectors:
+            stats = detector.stats()
+            for key in ("scans", "appends", "cells_scored", "anomalies"):
+                totals[key] += stats[key]
+        return totals
 
     def lattice_stats(self) -> dict:
         """Aggregated lattice-router counters (the ``/stats`` lattice key)."""

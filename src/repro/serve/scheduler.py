@@ -42,8 +42,25 @@ QUERY_OVERRIDE_TYPES: dict[str, type] = {
 #: The override field names alone.
 QUERY_OVERRIDE_FIELDS = tuple(QUERY_OVERRIDE_TYPES)
 
+#: DetectConfig threshold fields a ``/detect`` query may override per
+#: request, plus ``plan`` (also build a suppression plan) — the same
+#: single-source-of-truth contract as ``QUERY_OVERRIDE_TYPES``.
+DETECT_OVERRIDE_TYPES: dict[str, type] = {
+    "z_warn": float,
+    "z_alert": float,
+    "z_critical": float,
+    "min_deviation": float,
+    "min_volume": float,
+    "direction": str,
+    "max_cells": int,
+    "plan": bool,
+}
+
+#: The detect override field names alone.
+DETECT_OVERRIDE_FIELDS = tuple(DETECT_OVERRIDE_TYPES)
+
 #: Supported query kinds.
-KINDS = ("explain", "diff", "recommend")
+KINDS = ("explain", "diff", "recommend", "detect")
 
 #: Default size of the query thread pool.
 DEFAULT_QUERY_WORKERS = 8
@@ -93,7 +110,9 @@ class QueryScheduler:
 
         ``params`` for ``explain``: ``start``/``stop`` plus any field in
         ``QUERY_OVERRIDE_FIELDS``.  For ``diff``: ``start``/``stop``
-        (required) and ``m``.  For ``recommend``: ``m``.  Unknown kinds or
+        (required) and ``m``.  For ``recommend``: ``m``.  For ``detect``:
+        any field in ``DETECT_OVERRIDE_FIELDS`` (threshold overrides plus
+        ``plan`` — returns ``(report, plan | None)``).  Unknown kinds or
         parameters raise :class:`~repro.exceptions.QueryError`
         synchronously — a malformed query should fail the caller, not
         poison a worker.
@@ -147,6 +166,8 @@ class QueryScheduler:
                 raise QueryError("diff requires both start and stop")
         elif kind == "recommend":
             allowed = {"m"}
+        elif kind == "detect":
+            allowed = set(DETECT_OVERRIDE_FIELDS)
         unknown = set(params) - allowed
         if unknown:
             raise QueryError(
@@ -162,6 +183,16 @@ class QueryScheduler:
                     self._errors += 1
 
     def _run(self, kind: str, dataset: str, params: dict):
+        if kind == "detect":
+            detector = self._registry.detect_session(dataset)
+            wants_plan = bool(params.pop("plan", False))
+            overrides = {
+                name: value for name, value in params.items() if value is not None
+            }
+            config = detector.config.override(**overrides) if overrides else None
+            report = detector.scan(config=config)
+            plan = detector.plan(report, source=dataset) if wants_plan else None
+            return report, plan
         session = self._registry.session(dataset)
         if kind == "recommend":
             m = params.get("m")

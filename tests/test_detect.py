@@ -1,0 +1,618 @@
+"""Tests for the detect tier (repro.detect).
+
+Covers the tiered baseline calendar (tier cascade 28 -> 14 -> recency ->
+abstain, weekday/weekend classes, calendar-mode flips, axis gaps), the
+cell scorers and their config, suppression plans (policy, JSON round
+trips, apply/rollback), the stateful DetectSession riding the explain
+session's O(delta) append, the ``repro detect`` CLI verb, and the
+``/detect`` endpoint of the serving tier.  Byte-identity of the
+incremental baseline advance lives in test_properties.py.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.session import ExplainSession
+from repro.cube.datacube import ExplanationCube
+from repro.datasets.base import Dataset
+from repro.detect import (
+    AnomalyReport,
+    CellScore,
+    DetectConfig,
+    DetectSession,
+    SlotCalendar,
+    SuppressionPlan,
+    TieredBaselines,
+    apply_plan,
+    build_plan,
+    recommend_action,
+    score_columns,
+    severity_of,
+)
+from repro.exceptions import ConfigError, QueryError
+from repro.relation.csvio import write_csv
+from repro.serve.http import ServeApp
+from repro.serve.registry import DatasetSpec, SessionRegistry
+from tests.conftest import build_relation
+
+START = datetime.date(2024, 1, 1)  # a Monday
+
+
+def iso(day_index: int) -> str:
+    return (START + datetime.timedelta(days=day_index)).isoformat()
+
+
+def daily_relation(n_days: int = 56, spikes: dict | None = None):
+    """Two categories with a flat weekly pattern and optional spikes.
+
+    Every weekday repeats its value exactly, so all baseline deviations
+    are zero except at the seeded ``{(day_index, cat): value}`` spikes.
+    """
+    spikes = spikes or {}
+    rows = {"day": [], "cat": [], "m": []}
+    for i in range(n_days):
+        for cat, base in (("a", 100.0), ("b", 40.0)):
+            rows["day"].append(iso(i))
+            rows["cat"].append(cat)
+            rows["m"].append(spikes.get((i, cat), base + (i % 7)))
+    return build_relation(rows, dimensions=["cat"], measures=["m"], time="day")
+
+
+def daily_cube(n_days: int = 56, spikes: dict | None = None) -> ExplanationCube:
+    return ExplanationCube(daily_relation(n_days, spikes), ["cat"], "m")
+
+
+# ----------------------------------------------------------------------
+# SlotCalendar: modes, weekdays, and the tier cascade
+# ----------------------------------------------------------------------
+def test_calendar_date_mode_weekdays():
+    calendar = SlotCalendar([iso(i) for i in range(14)])
+    assert calendar.mode == "date"
+    # 2024-01-01 is a Monday; weekday() convention Monday=0 .. Sunday=6.
+    assert calendar.weekdays[:7] == [0, 1, 2, 3, 4, 5, 6]
+    assert len(calendar) == 14
+
+
+def test_calendar_positional_fallback_from_the_start():
+    calendar = SlotCalendar([f"t{i:03d}" for i in range(10)])
+    assert calendar.mode == "positional"
+    assert calendar.ordinals == list(range(10))
+    assert calendar.weekdays == [i % 7 for i in range(10)]
+
+
+def test_calendar_extend_reports_mode_flip_only_on_remap():
+    calendar = SlotCalendar([iso(0), iso(1)])
+    assert calendar.extend([iso(0), iso(1), iso(2)]) is False  # still dates
+    assert calendar.extend([iso(0), iso(1), iso(2), "not-a-date"]) is True
+    assert calendar.mode == "positional"
+    # Further positional growth is not a flip.
+    labels = [iso(0), iso(1), iso(2), "not-a-date", "x"]
+    assert calendar.extend(labels) is False
+
+
+def test_calendar_duplicate_date_flips_to_positional():
+    calendar = SlotCalendar([iso(0), iso(1)])
+    assert calendar.extend([iso(0), iso(1), iso(1)]) is True
+    assert calendar.mode == "positional"
+
+
+def test_tier_cascade_28_to_14_to_recency_to_abstain():
+    config = DetectConfig()
+    # 56 days: the last column has all four same-weekday samples.
+    calendar = SlotCalendar([iso(i) for i in range(56)])
+    window, samples = calendar.samples_for(55, config)
+    assert window == 28
+    assert samples == [55 - 28, 55 - 21, 55 - 14, 55 - 7]
+    # 20 days: only two same-weekday samples -> the 14-day tier serves.
+    calendar = SlotCalendar([iso(i) for i in range(20)])
+    window, samples = calendar.samples_for(19, config)
+    assert window == 14
+    assert samples == [19 - 14, 19 - 7]
+    # 10 days: one same-weekday sample -> recency tier, same day class.
+    calendar = SlotCalendar([iso(i) for i in range(10)])
+    window, samples = calendar.samples_for(9, config)
+    assert window == config.recency_window
+    assert samples == [7, 8]  # Mon/Tue; the weekend days are skipped
+    # Day 1 has a single prior weekday -> below the recency minimum.
+    window, samples = calendar.samples_for(1, config)
+    assert (window, samples) == (0, [])
+
+
+def test_weekend_cells_never_sample_weekdays():
+    config = DetectConfig()
+    calendar = SlotCalendar([iso(i) for i in range(13)])
+    # 2024-01-13 (position 12) is a Saturday; its one same-weekday sample
+    # (Jan 6) is under the 14-day quota of 2, and the recency window
+    # holds only weekdays -> the cell abstains rather than mixing classes.
+    window, samples = calendar.samples_for(12, config)
+    assert (window, samples) == (0, [])
+    for position in range(13):
+        window, samples = calendar.samples_for(position, config)
+        weekend = calendar.weekdays[position] >= 5
+        assert all((calendar.weekdays[s] >= 5) == weekend for s in samples)
+
+
+def test_axis_gap_shrinks_samples_instead_of_shifting():
+    # Drop one mid-axis Monday: the last Monday's 28-day tier loses that
+    # sample (3 left >= quota) instead of silently sampling a Tuesday.
+    days = [i for i in range(56) if i != 35]  # 2024-02-05, a Monday
+    calendar = SlotCalendar([iso(i) for i in days])
+    position = days.index(49)  # 2024-02-19, a Monday
+    window, samples = calendar.samples_for(position, DetectConfig())
+    assert window == 28
+    assert [days[s] for s in samples] == [21, 28, 42]
+
+
+# ----------------------------------------------------------------------
+# DetectConfig validation and overrides
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "bad",
+    [
+        dict(dow_windows=(13,), dow_min_samples=(1,)),  # not a multiple of 7
+        dict(dow_windows=(7, 14), dow_min_samples=(1, 1)),  # not widest-first
+        dict(dow_windows=(14,), dow_min_samples=(1, 1)),  # unpaired
+        dict(dow_min_samples=(0, 1)),  # minimum < 1
+        dict(recency_window=0),
+        dict(z_warn=5.0),  # above the default z_alert
+        dict(direction="sideways"),
+        dict(std_floor=0.0),
+        dict(min_deviation=-1.0),
+        dict(max_cells=0),
+        dict(link_top=-1),
+    ],
+)
+def test_config_validation_rejects(bad):
+    with pytest.raises(ConfigError):
+        DetectConfig(**bad)
+
+
+def test_config_override_lifts_higher_tiers():
+    config = DetectConfig().override(z_warn=10.0)
+    assert (config.z_warn, config.z_alert, config.z_critical) == (10.0, 10.0, 10.0)
+    config = DetectConfig().override(z_alert=8.0)
+    assert (config.z_warn, config.z_alert, config.z_critical) == (2.5, 8.0, 8.0)
+    # Explicit values always win over the lift.
+    config = DetectConfig().override(z_warn=7.0, z_critical=12.0)
+    assert (config.z_warn, config.z_alert, config.z_critical) == (7.0, 7.0, 12.0)
+    with pytest.raises(ConfigError):
+        DetectConfig().override(z_warn=7.0, z_alert=3.0)
+
+
+def test_severity_thresholds():
+    config = DetectConfig()
+    assert severity_of(2.0, config) is None
+    assert severity_of(-2.6, config) == "warn"
+    assert severity_of(4.0, config) == "alert"
+    assert severity_of(-9.0, config) == "critical"
+
+
+# ----------------------------------------------------------------------
+# Scoring
+# ----------------------------------------------------------------------
+def test_seeded_spike_is_scored_critical():
+    cube = daily_cube(spikes={(49, "a"): 500.0})
+    baselines = TieredBaselines(cube)
+    report = score_columns(cube, baselines, DetectConfig())
+    assert report.columns_scored > 0 and report.columns_abstained > 0
+    assert len(report.cells) == 1
+    cell = report.cells[0]
+    assert cell.explanation == "cat=a"
+    assert cell.label == iso(49)
+    assert cell.severity == "critical"
+    assert cell.direction == "spike"
+    assert cell.value == 500.0
+    assert cell.ratio == pytest.approx(500.0 / cell.baseline_mean)
+    assert report.counts() == {"warn": 0, "alert": 0, "critical": 1}
+
+
+def test_direction_and_floor_masks():
+    cube = daily_cube(spikes={(49, "a"): 500.0, (50, "b"): 1.0})
+    baselines = TieredBaselines(cube)
+    spikes_only = score_columns(
+        cube, baselines, DetectConfig(direction="spike")
+    )
+    assert [c.direction for c in spikes_only.cells] == ["spike"]
+    drops_only = score_columns(cube, baselines, DetectConfig(direction="drop"))
+    assert [c.direction for c in drops_only.cells] == ["drop"]
+    assert drops_only.cells[0].explanation == "cat=b"
+    # A deviation floor above both |value - mean| gaps silences the scan.
+    silent = score_columns(cube, baselines, DetectConfig(min_deviation=1000.0))
+    assert silent.cells == ()
+    # A volume floor above both cells' magnitudes does too.
+    silent = score_columns(cube, baselines, DetectConfig(min_volume=1000.0))
+    assert silent.cells == ()
+
+
+def test_max_cells_truncates_most_severe_first():
+    cube = daily_cube(spikes={(49, "a"): 500.0, (50, "b"): 400.0})
+    baselines = TieredBaselines(cube)
+    report = score_columns(cube, baselines, DetectConfig(max_cells=1))
+    assert len(report.cells) == 1
+    assert report.truncated == 1
+    full = score_columns(cube, baselines, DetectConfig())
+    assert report.cells[0] == max(full.cells, key=lambda c: abs(c.z))
+
+
+def test_abstaining_columns_are_never_scored():
+    cube = daily_cube(spikes={(1, "a"): 9999.0})  # day 1 always abstains
+    baselines = TieredBaselines(cube)
+    report = score_columns(cube, baselines, DetectConfig())
+    assert all(cell.position != 1 for cell in report.cells)
+
+
+def test_cellscore_json_round_trip():
+    cube = daily_cube(spikes={(49, "a"): 500.0})
+    report = score_columns(cube, TieredBaselines(cube), DetectConfig())
+    cell = report.cells[0]
+    assert CellScore.from_json(json.loads(json.dumps(cell.to_json()))) == cell
+    payload = report.to_json()
+    assert payload["counts"]["critical"] == 1
+    assert payload["anomalies"][0]["explanation"] == "cat=a"
+
+
+# ----------------------------------------------------------------------
+# Baseline state: advance after appends
+# ----------------------------------------------------------------------
+def test_advance_recomputes_only_the_tail():
+    relation = daily_relation(56)
+    base = relation.take(np.arange(relation.n_rows - 2))
+    delta = relation.take(np.arange(relation.n_rows - 2, relation.n_rows))
+    cube = ExplanationCube(base, ["cat"], "m")
+    baselines = TieredBaselines(cube)
+    assert baselines.n_times == 55
+    recomputed = baselines.advance(cube.append(delta))
+    assert list(recomputed) == [55]
+    assert baselines.n_times == 56
+    assert baselines.tier[55] == 28
+
+
+def test_advance_none_and_noop():
+    cube = daily_cube(28)
+    baselines = TieredBaselines(cube)
+    assert baselines.advance(None).size == baselines.n_times  # full rebuild
+    empty = daily_relation(28).take(np.arange(0))
+    assert baselines.advance(cube.append(empty)).size == 0
+
+
+def test_advance_rebuilds_on_calendar_flip():
+    relation = daily_relation(28)
+    cube = ExplanationCube(relation, ["cat"], "m")
+    baselines = TieredBaselines(cube)
+    assert baselines.calendar_mode == "date"
+    delta = build_relation(
+        {"day": ["not-a-date"], "cat": ["a"], "m": [1.0]},
+        dimensions=["cat"],
+        measures=["m"],
+        time="day",
+    )
+    recomputed = baselines.advance(cube.append(delta))
+    assert baselines.calendar_mode == "positional"
+    assert recomputed.size == baselines.n_times  # every slot remapped
+
+
+# ----------------------------------------------------------------------
+# Suppression plans
+# ----------------------------------------------------------------------
+def _cell(severity: str, value: float = 500.0, **overrides) -> CellScore:
+    fields = dict(
+        candidate=0,
+        explanation="cat=a",
+        items=(("cat", "a"),),
+        position=49,
+        label=iso(49),
+        value=value,
+        baseline_mean=103.0,
+        baseline_std=0.0,
+        window_days=28,
+        samples=4,
+        z={"critical": 80.0, "alert": 4.0, "warn": 2.6}[severity],
+        ratio=value / 103.0,
+        severity=severity,
+        direction="spike",
+    )
+    fields.update(overrides)
+    return CellScore(**fields)
+
+
+def test_recommend_action_policy():
+    assert recommend_action(_cell("critical"), "sum")[0] == "suppress"
+    assert recommend_action(_cell("alert"), "sum")[0] == "correct"
+    assert recommend_action(_cell("warn"), "sum")[0] == "ignore"
+    # Corrections degrade honestly where a rescale cannot express them.
+    action, reason = recommend_action(_cell("alert"), "count")
+    assert action == "suppress" and "cannot be rescaled" in reason
+    action, reason = recommend_action(_cell("alert", value=0.0), "sum")
+    assert action == "suppress" and "zero actual" in reason
+
+
+def test_plan_json_round_trip(tmp_path):
+    plan = build_plan(
+        [_cell("critical"), _cell("alert"), _cell("warn")],
+        measure="m",
+        time_attr="day",
+        aggregate="sum",
+        explain_by=("cat",),
+        source="unit",
+        links={49: ("cat=a", "cat=b")},
+    )
+    assert plan.counts() == {"suppress": 1, "correct": 1, "ignore": 1}
+    assert plan.entries[0].linked_explanations == ("cat=a", "cat=b")
+    assert SuppressionPlan.from_json(plan.to_json()) == plan
+    path = tmp_path / "plan.json"
+    plan.save(path)
+    assert SuppressionPlan.load(path) == plan
+    with pytest.raises(QueryError):
+        SuppressionPlan.load(tmp_path / "missing.json")
+    bad = plan.to_json()
+    bad["entries"][0]["action"] = "obliterate"
+    with pytest.raises(QueryError):
+        SuppressionPlan.from_json(bad)
+
+
+def test_apply_suppress_correct_ignore_and_rollback():
+    relation = daily_relation(56, spikes={(49, "a"): 500.0, (50, "b"): 400.0})
+    correct_cell = _cell(
+        "alert", value=400.0, baseline_mean=44.0, items=(("cat", "b"),),
+        explanation="cat=b", position=50, label=iso(50),
+    )
+    plan = build_plan(
+        [_cell("critical"), correct_cell, _cell("warn", position=10, label=iso(10))],
+        measure="m",
+        time_attr="day",
+        aggregate="sum",
+        explain_by=("cat",),
+    )
+    applied = apply_plan(plan, relation)
+    assert applied.suppressed_rows == 1
+    assert applied.corrected_rows == 1
+    assert applied.ignored_entries == 1
+    assert applied.missed_entries == ()
+    assert applied.corrected.n_rows == relation.n_rows - 1
+    # The suppressed cell's rows are gone ...
+    day = applied.corrected.column("day")
+    cat = applied.corrected.column("cat")
+    assert not np.any((day == iso(49)) & (cat == "a"))
+    # ... and the corrected cell's SUM lands exactly on its baseline.
+    mask = (day == iso(50)) & (cat == "b")
+    assert applied.corrected.column("m")[mask].sum() == pytest.approx(44.0)
+    # Rollback is the original binding, untouched.
+    assert applied.rollback() is relation
+    assert relation.n_rows == 112
+
+
+def test_apply_reports_missed_and_bad_measure():
+    relation = daily_relation(28)
+    plan = build_plan(
+        [_cell("critical", label="2030-01-01")],
+        measure="m",
+        time_attr="day",
+        aggregate="sum",
+        explain_by=("cat",),
+    )
+    applied = apply_plan(plan, relation)
+    assert applied.missed_entries == ("cat=a @ 2030-01-01",)
+    assert applied.corrected.n_rows == relation.n_rows
+    bad = SuppressionPlan.from_json({**plan.to_json(), "measure": "nope"})
+    with pytest.raises(QueryError):
+        apply_plan(bad, relation)
+
+
+def test_apply_round_trips_through_json(tmp_path):
+    """A plan that went to disk and back applies identically."""
+    relation = daily_relation(56, spikes={(49, "a"): 500.0})
+    session = ExplainSession(relation, measure="m", explain_by=["cat"])
+    detect = DetectSession(session)
+    plan = detect.plan()
+    path = tmp_path / "plan.json"
+    plan.save(path)
+    direct = apply_plan(plan, relation)
+    reloaded = apply_plan(SuppressionPlan.load(path), relation)
+    assert reloaded.suppressed_rows == direct.suppressed_rows
+    np.testing.assert_array_equal(
+        reloaded.corrected.column("m"), direct.corrected.column("m")
+    )
+
+
+# ----------------------------------------------------------------------
+# DetectSession
+# ----------------------------------------------------------------------
+def test_session_scan_plan_and_links():
+    relation = daily_relation(56, spikes={(49, "a"): 500.0})
+    detect = DetectSession(ExplainSession(relation, measure="m", explain_by=["cat"]))
+    report = detect.scan()
+    assert [c.explanation for c in report.cells] == ["cat=a"]
+    plan = detect.plan(report, source="unit")
+    assert plan.source == "unit"
+    assert plan.measure == "m" and plan.time_attr == "day"
+    entry = plan.entries[0]
+    assert entry.action == "suppress"
+    # The anomaly is cross-linked to the window's top explanations.
+    assert entry.linked_explanations
+    assert all(link.startswith("cat=") for link in entry.linked_explanations)
+    stats = detect.stats()
+    assert stats["scans"] >= 1 and stats["anomalies"] >= 1
+    assert stats["calendar_mode"] == "date"
+    assert stats["columns"] == 56
+
+
+def test_session_append_scores_only_touched_columns():
+    relation = daily_relation(56, spikes={(55, "b"): 400.0})
+    split = relation.n_rows - 4  # the last two days arrive as a delta
+    base = relation.take(np.arange(split))
+    delta = relation.take(np.arange(split, relation.n_rows))
+    detect = DetectSession(ExplainSession(base, measure="m", explain_by=["cat"]))
+    assert detect.scan().cells == ()
+    update = detect.append(delta)
+    assert update.n_rows == 4
+    assert update.recomputed_columns == 2
+    assert [c.explanation for c in update.report.cells] == ["cat=b"]
+    assert update.report.cells[0].label == iso(55)
+    # An incremental update must agree with a from-scratch full scan.
+    fresh = DetectSession(ExplainSession(relation, measure="m", explain_by=["cat"]))
+    assert fresh.scan().cells == detect.scan().cells
+
+
+def test_session_empty_delta_is_noop():
+    detect = DetectSession(
+        ExplainSession(daily_relation(28), measure="m", explain_by=["cat"])
+    )
+    update = detect.append(daily_relation(28).take(np.arange(0)))
+    assert update.is_noop
+    assert update.recomputed_columns == 0
+    assert update.report.cells == ()
+    assert detect.stats()["appends"] == 1
+
+
+def test_session_one_off_config_override():
+    relation = daily_relation(56, spikes={(49, "a"): 140.0})  # a mild spike
+    detect = DetectSession(
+        ExplainSession(relation, measure="m", explain_by=["cat"]),
+        config=DetectConfig(z_warn=2.5),
+    )
+    assert len(detect.scan().cells) == 1
+    strict = detect.config.override(z_warn=1000.0)
+    assert detect.scan(config=strict).cells == ()
+    assert detect.config.z_warn == 2.5  # the session config is untouched
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+@pytest.fixture
+def detect_csv(tmp_path):
+    path = tmp_path / "daily.csv"
+    write_csv(daily_relation(56, spikes={(49, "a"): 500.0}), path)
+    return str(path)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def _detect_args(csv_path):
+    return (
+        "--csv", csv_path, "--time", "day", "--dimensions", "cat",
+        "--measure", "m",
+    )
+
+
+def test_cli_detect_scan(capsys, detect_csv):
+    code, out, _ = run_cli(capsys, "detect", "scan", *_detect_args(detect_csv))
+    assert code == 0
+    assert "baseline scan" in out
+    assert "cat=a" in out and iso(49) in out
+    assert "1 anomalous cell(s)" in out
+
+
+def test_cli_detect_scan_json(capsys, detect_csv, tmp_path):
+    report_path = tmp_path / "report.json"
+    code, _, _ = run_cli(
+        capsys, "detect", "scan", *_detect_args(detect_csv),
+        "--json", str(report_path),
+    )
+    assert code == 0
+    payload = json.loads(report_path.read_text())
+    assert payload["counts"]["critical"] == 1
+
+
+def test_cli_detect_plan_and_apply(capsys, detect_csv, tmp_path):
+    plan_path = tmp_path / "plan.json"
+    code, out, _ = run_cli(
+        capsys, "detect", "plan", *_detect_args(detect_csv),
+        "--out", str(plan_path),
+    )
+    assert code == 0
+    assert "wrote suppression plan" in out
+    plan = SuppressionPlan.load(plan_path)
+    assert plan.counts()["suppress"] == 1
+
+    corrected_path = tmp_path / "corrected.csv"
+    code, out, _ = run_cli(
+        capsys, "detect", "apply", *_detect_args(detect_csv),
+        "--plan", str(plan_path),
+        "--write-csv", str(corrected_path), "--explain",
+    )
+    assert code == 0
+    assert "applied: 1 row(s) suppressed" in out
+    assert "corrected relation, explained" in out
+    assert corrected_path.exists()
+
+
+def test_cli_detect_apply_requires_plan(capsys, detect_csv):
+    code, _, err = run_cli(capsys, "detect", "apply", *_detect_args(detect_csv))
+    assert code == 2
+    assert "--plan" in err
+
+
+def test_cli_detect_threshold_flags(capsys, detect_csv):
+    code, out, _ = run_cli(
+        capsys, "detect", "scan", *_detect_args(detect_csv),
+        "--z-warn", "10000", "--direction", "drop",
+    )
+    assert code == 0
+    assert "0 anomalous cell(s)" in out
+
+
+# ----------------------------------------------------------------------
+# Serving tier
+# ----------------------------------------------------------------------
+def _detect_registry() -> SessionRegistry:
+    dataset = Dataset(
+        name="daily",
+        relation=daily_relation(56, spikes={(49, "a"): 500.0}),
+        measure="m",
+        explain_by=("cat",),
+        aggregate="sum",
+    )
+    return SessionRegistry(specs=[DatasetSpec.from_dataset(dataset)])
+
+
+def test_registry_detect_session_is_cached_per_session():
+    registry = _detect_registry()
+    first = registry.detect_session("daily")
+    assert registry.detect_session("daily") is first
+    registry.evict("daily")
+    rebuilt = registry.detect_session("daily")
+    assert rebuilt is not first
+    assert rebuilt.session is registry.session("daily")
+    stats = registry.detect_stats()
+    assert stats["sessions"] == 1
+
+
+def test_http_detect_endpoint_and_stats():
+    app = ServeApp(_detect_registry(), port=0).start()
+    try:
+        payload, status = app.dispatch(
+            "/detect", {"dataset": "daily", "plan": "1", "top": "5"}
+        )
+        assert status == 200
+        assert payload["report"]["counts"]["critical"] == 1
+        anomaly = payload["report"]["anomalies"][0]
+        assert anomaly["explanation"] == "cat=a" and anomaly["label"] == iso(49)
+        entry = payload["plan"]["entries"][0]
+        assert entry["action"] == "suppress"
+        assert entry["linked_explanations"]
+        # Threshold overrides flow through the query string.
+        payload, _ = app.dispatch(
+            "/detect", {"dataset": "daily", "z_warn": "100000"}
+        )
+        assert payload["report"]["anomalies"] == []
+        assert "plan" not in payload
+        stats, _ = app.dispatch("/stats", {})
+        assert stats["registry"]["detect"]["scans"] == 2
+        assert stats["registry"]["detect"]["anomalies"] == 1
+        with pytest.raises(QueryError):
+            app.dispatch("/detect", {"dataset": "daily", "bogus": "1"})
+        payload, status = app.dispatch("/detect", {"dataset": "nope"})
+        assert status == 404
+    finally:
+        app.shutdown()

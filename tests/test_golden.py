@@ -27,6 +27,7 @@ import pytest
 from repro.core.config import ExplainConfig
 from repro.core.session import ExplainSession
 from repro.datasets.registry import load_dataset
+from repro.detect.scoring import DetectConfig
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -172,6 +173,47 @@ def _compute_lattice(name: str) -> dict:
     }
 
 
+#: name -> (dataset, DetectConfig factory) — detect-over-example configs.
+#: Thresholds are deliberately strict: covid-daily is volatile enough that
+#: the defaults flag thousands of cells, and the point of the fixture is a
+#: small frozen set of the *worst* ones plus the plan built from them.
+DETECT_CASES = {
+    "covid_daily_detect": (
+        "covid-daily",
+        lambda dataset: DetectConfig(
+            z_warn=8.0,
+            z_alert=12.0,
+            z_critical=20.0,
+            max_cells=25,
+            link_top=2,
+        ),
+    ),
+}
+
+
+def _compute_detect(name: str) -> dict:
+    from repro.detect.session import DetectSession
+
+    dataset_name, config_for = DETECT_CASES[name]
+    dataset = load_dataset(dataset_name)
+    session = ExplainSession(
+        dataset.relation,
+        dataset.measure,
+        dataset.explain_by,
+        aggregate=dataset.aggregate,
+        config=ExplainConfig.optimized(smoothing_window=dataset.smoothing_window),
+    )
+    detector = DetectSession(session, config=config_for(dataset))
+    report = detector.scan()
+    plan = detector.plan(report, source=dataset_name)
+    return {
+        "dataset": dataset_name,
+        "calendar_mode": detector.baselines.calendar_mode,
+        "report": report.to_json(),
+        "plan": plan.to_json(),
+    }
+
+
 def _assert_matches(actual, expected, path="$"):
     if isinstance(expected, dict):
         assert isinstance(actual, dict) and set(actual) == set(expected), path
@@ -194,6 +236,21 @@ def _assert_matches(actual, expected, path="$"):
 @pytest.mark.parametrize("name", sorted(CASES))
 def test_golden_output_is_frozen(name):
     payload = _compute(name)
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        pytest.skip(f"regenerated {path}")
+    assert path.is_file(), (
+        f"missing golden fixture {path}; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    _assert_matches(payload, expected)
+
+
+@pytest.mark.parametrize("name", sorted(DETECT_CASES))
+def test_detect_golden_output_is_frozen(name):
+    payload = _compute_detect(name)
     path = GOLDEN_DIR / f"{name}.json"
     if os.environ.get("REPRO_REGEN_GOLDEN"):
         GOLDEN_DIR.mkdir(exist_ok=True)

@@ -581,3 +581,70 @@ def test_out_of_core_build_is_byte_identical(data, aggregate, chunk_rows):
     np.testing.assert_array_equal(chunked.overall_values, one_shot.overall_values)
     np.testing.assert_array_equal(chunked.included_values, one_shot.included_values)
     np.testing.assert_array_equal(chunked.excluded_values, one_shot.excluded_values)
+
+
+# ----------------------------------------------------------------------
+# Detect tier: incremental baseline advance equals a one-shot rebuild
+# ----------------------------------------------------------------------
+def _assert_baselines_byte_identical(left, right):
+    assert left.calendar_mode == right.calendar_mode
+    assert left.tier.tobytes() == right.tier.tobytes()
+    assert left.samples.tobytes() == right.samples.tobytes()
+    assert left.mean.tobytes() == right.mean.tobytes()
+    assert left.std.tobytes() == right.std.tobytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=streaming_relations(),
+    aggregate=st.sampled_from(["sum", "count", "avg", "var"]),
+    date_labels=st.booleans(),
+    n_chunks=st.integers(1, 4),
+)
+def test_baseline_advance_is_byte_identical_to_one_shot(
+    data, aggregate, date_labels, n_chunks
+):
+    """Chunked appends advance the baselines to the exact bytes a fresh
+    build over ``base + delta`` produces — for SUM/COUNT/AVG/VAR, both
+    calendar modes, mid-timestamp splits, and candidate growth.
+
+    This is the invariant ``repro detect follow`` rides: scoring only the
+    recomputed columns per poll tick loses nothing against rescanning.
+    """
+    from repro.detect import DetectConfig, TieredBaselines
+
+    relation, dimensions, split = data
+    if date_labels:
+        # Remap tNN -> consecutive ISO dates so the day-of-week tiers
+        # (not just the positional fallback) are exercised.
+        import datetime
+
+        first = datetime.date(2024, 1, 1)
+        remap = {
+            label: (first + datetime.timedelta(days=int(label[1:]))).isoformat()
+            for label in set(relation.column("t"))
+        }
+        columns = relation.columns()
+        columns["t"] = np.asarray(
+            [remap[label] for label in relation.column("t")], dtype=object
+        )
+        relation = Relation(columns, relation.schema)
+    base, delta = _split_rows(relation, split)
+    if len(set(base.column("t"))) < 2:
+        return
+    config = DetectConfig(
+        dow_windows=(14, 7), dow_min_samples=(2, 1), recency_window=3,
+        recency_min_samples=1,
+    )
+    cube = ExplanationCube(base, dimensions, "m", aggregate=aggregate, max_order=2)
+    advanced = TieredBaselines(cube, config)
+    bounds = np.linspace(0, delta.n_rows, n_chunks + 1).astype(int)
+    for lo, hi in zip(bounds, bounds[1:]):
+        info = cube.append(delta.take(np.arange(lo, hi)))
+        advanced.advance(info)
+    one_shot = ExplanationCube(
+        relation, dimensions, "m", aggregate=aggregate, max_order=2
+    )
+    fresh = TieredBaselines(one_shot, config)
+    assert advanced.calendar_mode == ("date" if date_labels else "positional")
+    _assert_baselines_byte_identical(advanced, fresh)

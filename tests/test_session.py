@@ -582,3 +582,44 @@ class TestSessionThreadSafety:
                     (derived.supports, live.supports),
                 ):
                     assert not np.shares_memory(mine, theirs)
+
+
+class TestEmptyDeltaAppend:
+    """Regression: a poll tick with no new rows must touch nothing."""
+
+    def test_prepared_session_empty_append_is_free(self):
+        relation = regime_relation()
+        session = ExplainSession(relation, "sales", ["cat"], config=ExplainConfig(k=2))
+        session.prepare()
+        cube = session.cube
+        before = result_fingerprint(session.explain())
+        scorers = len(session._scorers)
+        info = session.append(relation.take(np.arange(0)))
+        assert info is not None and info.is_noop
+        # No relation concat, no cube drop, no scorer-LRU invalidation.
+        assert session.relation is relation
+        assert session.cube is cube
+        assert len(session._scorers) == scorers
+        assert result_fingerprint(session.explain()) == before
+
+    def test_unprepared_session_empty_append_returns_none(self):
+        relation = regime_relation()
+        session = ExplainSession(relation, "sales", ["cat"], config=ExplainConfig(k=2))
+        assert session.append(relation.take(np.arange(0))) is None
+        assert session.relation is relation
+
+    def test_empty_append_still_validates_the_schema(self):
+        from repro.exceptions import SchemaError
+        from repro.relation.schema import Schema
+        from repro.relation.table import Relation
+
+        session = ExplainSession(
+            regime_relation(), "sales", ["cat"], config=ExplainConfig(k=2)
+        )
+        session.prepare()
+        alien = Relation(
+            {"t": [], "region": [], "sales": []},
+            Schema.build(dimensions=["region"], measures=["sales"], time="t"),
+        )
+        with pytest.raises(SchemaError):
+            session.append(alien)

@@ -144,3 +144,62 @@ def test_incremental_matches_full_rerun_on_stable_data(explainer):
     ).refresh()
     # The incremental cut must be (nearly) the full rerun's cut.
     assert abs(incremental.cuts[0] - full.cuts[0]) <= 1
+
+
+def test_empty_delta_update_is_a_noop(explainer):
+    """Regression: a poll tick with no new rows returns the cached result
+    without re-running the pipeline, copying the relation, or touching
+    the prepared session."""
+    first = explainer.refresh()
+    relation = explainer.relation
+    session = explainer.session()
+    empty = rows_for([], lambda t, cat: 0.0)
+    assert explainer.update(empty) is first
+    assert explainer.relation is relation
+    assert explainer.session() is session
+    # A later real update behaves exactly as if the tick never happened.
+    new = rows_for(
+        range(24, 28),
+        lambda t, cat: 10.0 + 5.0 * (t - 12) if cat == "b" else 10.0,
+    )
+    after_tick = explainer.update(new)
+    replay = StreamingExplainer(
+        regime_relation(),
+        measure="sales",
+        explain_by=["cat"],
+        config=ExplainConfig(use_filter=False, k=2),
+    )
+    replay.refresh()
+    no_tick = replay.update(new)
+    assert after_tick.cuts == no_tick.cuts
+    assert list(after_tick.series.values) == list(no_tick.series.values)
+
+
+def test_empty_delta_does_not_fork_the_chained_cache(tmp_path):
+    """With a rollup cache, an empty tick must not advance the chained
+    snapshot fingerprint: a replay that never saw the tick hits the same
+    cache entries."""
+    from repro.cube.cache import RollupCache
+
+    new = rows_for(
+        range(24, 28),
+        lambda t, cat: 10.0 + 5.0 * (t - 12) if cat == "b" else 10.0,
+    )
+
+    def run(with_tick: bool, directory) -> int:
+        cache = RollupCache(directory)
+        explainer = StreamingExplainer(
+            regime_relation(),
+            measure="sales",
+            explain_by=["cat"],
+            config=ExplainConfig(use_filter=False, k=2, cache_dir=str(directory)),
+        )
+        explainer.refresh()
+        if with_tick:
+            explainer.update(rows_for([], lambda t, cat: 0.0))
+        explainer.update(new)
+        return len(cache.entries())
+
+    ticked = run(True, tmp_path / "ticked")
+    plain = run(False, tmp_path / "plain")
+    assert ticked == plain
