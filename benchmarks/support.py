@@ -15,6 +15,7 @@ pure Python; ``REPRO_BENCH_SCALE=paper`` uses the paper's full parameters
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -52,6 +53,29 @@ def emit(name: str, text: str) -> str:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     return text
+
+
+def append_run(path: Path, record: dict) -> list[dict]:
+    """Append one run record to a ``BENCH_*.json`` trajectory file.
+
+    The file holds a JSON *list* of run records, newest last, so repeated
+    runs build a perf trajectory instead of overwriting the previous
+    measurement.  A legacy single-record file (one dict) is migrated to a
+    one-element list; an unreadable file starts a fresh trajectory.
+    Returns the full trajectory as written.
+    """
+    runs: list[dict] = []
+    try:
+        existing = json.loads(path.read_text(encoding="utf-8"))
+        if isinstance(existing, list):
+            runs = [run for run in existing if isinstance(run, dict)]
+        elif isinstance(existing, dict):
+            runs = [existing]
+    except (OSError, ValueError):
+        runs = []
+    runs.append(record)
+    path.write_text(json.dumps(runs, indent=2) + "\n", encoding="utf-8")
+    return runs
 
 
 def real_dataset(name: str) -> Dataset:

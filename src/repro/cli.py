@@ -101,6 +101,7 @@ import io
 import json as _json
 import os
 import sys
+import tempfile
 import time as _time
 from typing import Sequence
 
@@ -996,7 +997,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 f"unknown dataset(s) {unknown}; available: {sorted(known)} "
                 "(or csv:/npz:/sqlite: source URIs)"
             )
-    app = make_app(
+    options = dict(
         datasets=names,
         host=args.host,
         port=args.port,
@@ -1011,9 +1012,55 @@ def _command_serve(args: argparse.Namespace) -> int:
         build_shards=args.build_shards,
         build_workers=args.build_workers,
         max_requests=args.max_requests,
+        max_inflight=args.max_inflight,
         lattice=args.lattice,
         verbose=args.verbose,
     )
+    workers = args.workers
+    if workers > 1:
+        from repro.serve.http import reuseport_available
+
+        if not reuseport_available():
+            print(
+                f"SO_REUSEPORT unavailable on this platform; "
+                f"ignoring --workers {workers} and serving single-process",
+                file=sys.stderr,
+                flush=True,
+            )
+            workers = 1
+        elif not options["cache_dir"]:
+            # Workers share memory only through the mmap-ed artifact, and
+            # the artifact needs a directory to live in.
+            options["cache_dir"] = tempfile.mkdtemp(prefix="repro-serve-")
+            print(
+                f"--workers needs a cache dir for the shared cube artifact; "
+                f"using {options['cache_dir']}",
+                file=sys.stderr,
+                flush=True,
+            )
+    if workers > 1:
+        from repro.serve.multiproc import WorkerPool
+
+        options["artifacts"] = True
+        pool = WorkerPool(options, workers=workers).start()
+        # The port line is machine-read by smoke tests (--port 0 binds an
+        # ephemeral port), so print and flush it before blocking.
+        print(f"repro serve listening on {pool.url}", flush=True)
+        print(
+            f"endpoints: {pool.url}/explain?dataset=NAME  /diff  /recommend  "
+            "/datasets  /stats  /healthz",
+            flush=True,
+        )
+        print(f"workers: {len(pool.pids)} (pids {', '.join(map(str, pool.pids))})", flush=True)
+        try:
+            pool.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            pool.shutdown()
+        print("serve workers stopped")
+        return 0
+    app = make_app(**options)
     # The port line is machine-read by smoke tests (--port 0 binds an
     # ephemeral port), so print and flush it before blocking.
     print(f"repro serve listening on {app.url}", flush=True)
@@ -1335,7 +1382,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-requests",
         type=int,
-        help="shut down after serving this many requests (smoke tests)",
+        help="shut down after serving this many requests (smoke tests); "
+        "with --workers, each worker counts its own requests",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        help="admission control: refuse requests beyond this many in flight "
+        "(per worker) with 503 + Retry-After instead of queueing",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fork this many SO_REUSEPORT serve processes sharing one "
+        "mmap-ed cube artifact per dataset (default 1; needs --cache-dir, "
+        "a temp dir is used if unset; falls back to single-process where "
+        "SO_REUSEPORT is unavailable)",
     )
     serve.add_argument(
         "--lattice",

@@ -1,0 +1,248 @@
+"""The finalized-cube artifact: one mmap-able file N serve workers share.
+
+The rollup cache (:mod:`repro.cube.cache`) optimizes for *disk* — entries
+are ``np.savez_compressed`` archives that must be decompressed into fresh
+private arrays on every load.  That is the wrong trade for a multi-process
+serving tier: N workers each holding a private copy of every resident cube
+multiplies memory by N.  The artifact is the same payload written the
+other way around — an **uncompressed** npz-style archive whose members are
+contiguous byte ranges of the file — so each worker opens it with the
+zip-offset ``np.memmap`` technique proven in
+:mod:`repro.store.npz_source` and the series matrices live once in the
+page cache, shared read-only by every process on the machine.
+
+One file holds everything the serve tier needs to adopt a prepared
+session without touching the relation:
+
+* the four finalized series arrays (``overall``, ``supports``,
+  ``included``, ``excluded``) — memory-mapped on open;
+* the candidate metadata (labels, explanation conjunctions, key) as a
+  JSON header encoded into a ``uint8`` member — deliberately no pickle,
+  exactly like the cache format;
+* the delta-maintenance ledger states of an appendable cube, so an
+  ingest process can revive the artifact appendable
+  (``open_artifact(..., appendable=True)``) while serve workers keep
+  mapping it as a fixed snapshot.
+
+Artifacts are written atomically (unique temp file + ``os.replace``)
+under the :class:`~repro.cube.cache.CubeKey` digest — for source-backed
+datasets that key carries the *source fingerprint*, so a warm multi-
+process start costs one header read per dataset and zero builds.  A
+missing, truncated or foreign file reads as a miss (``None``), never an
+error: the caller rebuilds and overwrites, the same contract as the
+cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.cube.cache import (
+    CubeKey,
+    _key_dict,
+    _load_append_state,
+    _python_value,
+    _read_header,
+)
+from repro.cube.datacube import ExplanationCube
+from repro.relation.aggregates import get_aggregate
+from repro.relation.predicates import Conjunction
+
+#: Bump when the artifact layout changes; older files then read as misses.
+ARTIFACT_FORMAT = 1
+
+#: Sanity tag distinguishing artifacts from cache entries and snapshots.
+ARTIFACT_KIND = "repro.cube/artifact"
+
+#: Filename suffix of finalized-cube artifacts.
+ARTIFACT_SUFFIX = ".cube.art.npz"
+
+
+def artifact_path_for(directory: str | Path, key: CubeKey) -> Path:
+    """Where the artifact of ``key`` lives under ``directory``."""
+    return Path(directory).expanduser() / f"{key.digest()}{ARTIFACT_SUFFIX}"
+
+
+def write_artifact(
+    directory: str | Path, key: CubeKey, cube: ExplanationCube
+) -> Path:
+    """Atomically persist a built cube as a mmap-able artifact.
+
+    The payload mirrors the cache's format-2 layout (header JSON as a
+    ``uint8`` member, series arrays, ledger states for appendable cubes)
+    but is stored **uncompressed** so every member can be memory-mapped
+    in place.  Raises ``TypeError`` for non-JSON labels/values, exactly
+    like :meth:`~repro.cube.cache.RollupCache.store`.
+    """
+    directory = Path(directory).expanduser()
+    header: dict = {
+        "format": ARTIFACT_FORMAT,
+        "kind": ARTIFACT_KIND,
+        "key": _key_dict(key),
+        "aggregate": cube.aggregate.name,
+        "measure": cube.measure,
+        "explain_by": list(cube.explain_by),
+        "labels": list(cube.labels),
+        "explanations": [
+            [[name, value] for name, value in conj.items]
+            for conj in cube.explanations
+        ],
+        "n_explanations": cube.n_explanations,
+        "n_times": cube.n_times,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "overall": np.ascontiguousarray(cube.overall_values, dtype=np.float64),
+        "supports": np.ascontiguousarray(cube.supports, dtype=np.int64),
+        "included": np.ascontiguousarray(cube.included_values, dtype=np.float64),
+        "excluded": np.ascontiguousarray(cube.excluded_values, dtype=np.float64),
+    }
+    state = cube.append_state
+    if state is not None:
+        n = state.n_times
+        header["appendable"] = True
+        header["state"] = {
+            "time_attr": state.time_attr,
+            "max_order": state.max_order,
+            "deduplicate": state.deduplicate,
+            "schema": [
+                [attribute.name, attribute.kind.value] for attribute in state.schema
+            ],
+            "subsets": [list(ledger.attrs) for ledger in state.ledgers],
+            "values": [
+                [[_python_value(value) for value in column] for column in ledger.values]
+                for ledger in state.ledgers
+            ],
+        }
+        arrays["overall_state"] = state.overall[:, :n]
+        for i, ledger in enumerate(state.ledgers):
+            arrays[f"state{i}"] = ledger.state[:, :, :n]
+            arrays[f"counts{i}"] = ledger.counts
+            arrays[f"parents{i}"] = (
+                np.stack(ledger.parents)
+                if ledger.parents
+                else np.empty((0, ledger.n_slots), dtype=np.intp)
+            )
+    header_bytes = json.dumps(header, allow_nan=True).encode("utf-8")
+    path = artifact_path_for(directory, key)
+    # The same crash- and racer-safe discipline as the rollup cache: the
+    # payload lands in a unique temp file and is published with one
+    # atomic rename; a concurrent clear() removing the directory between
+    # mkdir and rename surfaces as FileNotFoundError, so retry the whole
+    # write once before giving up.
+    last_error: FileNotFoundError | None = None
+    for _ in range(2):
+        directory.mkdir(parents=True, exist_ok=True)
+        try:
+            handle, tmp_name = tempfile.mkstemp(
+                dir=directory, suffix=f"{ARTIFACT_SUFFIX}.tmp"
+            )
+        except FileNotFoundError as error:
+            last_error = error
+            continue
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                np.savez(
+                    tmp,
+                    header=np.frombuffer(header_bytes, dtype=np.uint8),
+                    **arrays,
+                )
+            os.replace(tmp_name, path)
+        except FileNotFoundError as error:
+            last_error = error
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            continue
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+    assert last_error is not None
+    raise last_error
+
+
+def open_artifact(
+    directory: str | Path,
+    key: CubeKey,
+    mmap: bool = True,
+    appendable: bool = False,
+) -> ExplanationCube | None:
+    """The artifact cube for ``key``, or ``None`` on miss/corruption.
+
+    The default open is the serve-worker path: the series arrays are
+    memory-mapped read-only (one shared page-cache copy per machine,
+    however many workers open it) and the cube is a *fixed* snapshot —
+    queries slice and score it, nothing appends.  ``appendable=True`` is
+    the ingest path: the ledger states are materialized into private
+    arrays and the cube revives appendable, exactly like a format-2
+    cache load.  ``mmap=False`` forces private copies of the series
+    arrays (tests, or filesystems where mapping misbehaves).
+    """
+    path = artifact_path_for(directory, key)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            header = _read_header(data)
+            if (
+                header.get("kind") != ARTIFACT_KIND
+                or header.get("format") != ARTIFACT_FORMAT
+                or header.get("key") != _key_dict(key)
+            ):
+                return None
+            if appendable:
+                if not header.get("appendable"):
+                    return None
+                return ExplanationCube.from_append_state(
+                    _load_append_state(header, data)
+                )
+        # Only the header left the np.load above; the series arrays are
+        # mapped member by member so a warm open touches no array bytes
+        # until a query actually reads them.
+        from repro.store.npz_source import _mmap_member
+
+        loaded: dict[str, np.ndarray] = {}
+        fallback: "np.lib.npyio.NpzFile | None" = None
+        try:
+            for name in ("overall", "supports", "included", "excluded"):
+                if mmap:
+                    try:
+                        loaded[name] = _mmap_member(path, name)
+                        continue
+                    except (ValueError, KeyError, OSError):
+                        pass
+                if fallback is None:
+                    fallback = np.load(path, allow_pickle=False)
+                loaded[name] = np.asarray(fallback[name])
+        finally:
+            if fallback is not None:
+                fallback.close()
+        explanations = tuple(
+            Conjunction.from_items((name, value) for name, value in items)
+            for items in header["explanations"]
+        )
+        return ExplanationCube.from_arrays(
+            aggregate=get_aggregate(header["aggregate"]),
+            measure=header["measure"],
+            explain_by=tuple(header["explain_by"]),
+            labels=tuple(header["labels"]),
+            overall=loaded["overall"],
+            explanations=explanations,
+            supports=loaded["supports"],
+            included=loaded["included"],
+            excluded=loaded["excluded"],
+        )
+    except FileNotFoundError:
+        return None
+    except Exception:
+        # Unreadable artifacts (truncated writes, foreign files, format
+        # drift) are misses, not errors: the caller rebuilds and the next
+        # write_artifact overwrites the bad file.
+        return None

@@ -379,6 +379,37 @@ class RollupCache:
         assert last_error is not None
         raise last_error
 
+    # ------------------------------------------------------------------
+    # Finalized-cube artifacts (repro.cube.artifact)
+    # ------------------------------------------------------------------
+    def artifact_path_for(self, key: CubeKey) -> Path:
+        """Where the mmap-able finalized artifact of ``key`` lives."""
+        from repro.cube.artifact import artifact_path_for
+
+        return artifact_path_for(self._directory, key)
+
+    def store_artifact(self, key: CubeKey, cube: ExplanationCube) -> Path:
+        """Atomically persist ``cube`` as a mmap-able artifact; returns the path.
+
+        Unlike :meth:`store` the payload is written *uncompressed*, so
+        every serve worker can memory-map the series matrices in place
+        — one resident copy per machine instead of one per process.
+        """
+        from repro.cube.artifact import write_artifact
+
+        return write_artifact(self._directory, key, cube)
+
+    def load_artifact(
+        self, key: CubeKey, mmap: bool = True, appendable: bool = False
+    ) -> ExplanationCube | None:
+        """The artifact cube for ``key`` or ``None`` — same miss contract
+        as :meth:`load` (corruption reads as a miss, never an error)."""
+        from repro.cube.artifact import open_artifact
+
+        return open_artifact(
+            self._directory, key, mmap=mmap, appendable=appendable
+        )
+
     def _glob(self, pattern: str) -> list[Path]:
         """Directory listing that tolerates the directory vanishing.
 
@@ -518,15 +549,19 @@ class RollupCache:
         return rows
 
     def clear(self) -> int:
-        """Delete every cache entry, append log, lattice manifest, and any
-        orphaned temp file left by a crashed writer; returns the number of
-        files removed."""
+        """Delete every cache entry, finalized artifact, append log,
+        lattice manifest, and any orphaned temp file left by a crashed
+        writer; returns the number of files removed."""
+        from repro.cube.artifact import ARTIFACT_SUFFIX
+
         removed = 0
         if not self._directory.is_dir():
             return removed
         for pattern in (
             f"*{CACHE_SUFFIX}",
             f"*{CACHE_SUFFIX}.tmp",
+            f"*{ARTIFACT_SUFFIX}",
+            f"*{ARTIFACT_SUFFIX}.tmp",
             f"*{LOG_SUFFIX}",
             f"*{LOG_SUFFIX}.tmp",
             f"*{MANIFEST_SUFFIX}",

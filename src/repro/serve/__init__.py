@@ -19,9 +19,13 @@ actually runs:
 * :mod:`~repro.serve.http` — a stdlib ``http.server`` JSON API
   (``/explain``, ``/diff``, ``/recommend``, ``/datasets``, ``/stats``)
   wired to the registry and scheduler; ``repro serve`` starts it.
+* :class:`~repro.serve.multiproc.WorkerPool` — ``repro serve --workers N``:
+  N forked ``SO_REUSEPORT`` workers sharing one mmap-able finalized-cube
+  artifact per dataset, so resident memory is per-dataset, not per-worker.
 """
 
-from repro.serve.http import ServeApp, make_app
+from repro.serve.http import ServeApp, make_app, reuseport_available
+from repro.serve.multiproc import WorkerPool, prebuild_artifacts
 from repro.serve.registry import DatasetSpec, SessionRegistry
 from repro.serve.scheduler import QueryScheduler
 from repro.serve.sharding import ShardedBuilder, split_time_shards
@@ -32,6 +36,9 @@ __all__ = [
     "ServeApp",
     "SessionRegistry",
     "ShardedBuilder",
+    "WorkerPool",
     "make_app",
+    "prebuild_artifacts",
+    "reuseport_available",
     "split_time_shards",
 ]

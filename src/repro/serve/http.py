@@ -31,6 +31,7 @@ unregistered datasets, 500 for anything unexpected.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -93,6 +94,11 @@ _DETECT_TABLE = _detect_param_table()
 
 
 def _coerce(name: str, raw: str, kind: type):
+    # A blank value (``?k=``) reaches here because the parser keeps blank
+    # values; it is malformed for every parameter type — silently running
+    # the query with defaults instead would hide the client's typo.
+    if raw == "":
+        raise QueryError(f"parameter {name!r} expects {kind.__name__}, got an empty value")
     try:
         if kind is bool:
             lowered = raw.strip().lower()
@@ -118,33 +124,87 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
         app: "ServeApp" = self.server.app  # type: ignore[attr-defined]
         parsed = urlparse(self.path)
+        # Blank values are kept so ``?k=`` is rejected loudly by _coerce
+        # instead of silently running the query with defaults.
         params = {
-            name: values[-1] for name, values in parse_qs(parsed.query).items()
+            name: values[-1]
+            for name, values in parse_qs(
+                parsed.query, keep_blank_values=True
+            ).items()
         }
+        if not app.try_admit():
+            # Admission control: beyond max_inflight the server sheds
+            # load with an immediate 503 + Retry-After instead of
+            # queueing unboundedly behind the thread pool.
+            self._write_json(
+                {"error": "server is at capacity; retry shortly"},
+                503,
+                retry_after=app.retry_after_seconds,
+            )
+            return
         try:
-            payload, status = app.dispatch(parsed.path, params)
-        except ReproError as error:
-            payload, status = {"error": str(error)}, 400
-        except Exception as error:  # pragma: no cover - defensive 500
-            payload, status = {"error": f"internal error: {error}"}, 500
+            try:
+                payload, status = app.dispatch(parsed.path, params)
+            except ReproError as error:
+                payload, status = {"error": str(error)}, 400
+            except Exception as error:  # pragma: no cover - defensive 500
+                payload, status = {"error": f"internal error: {error}"}, 500
+            # Count before writing (a client that has read its response
+            # must observe the updated counter).
+            app.note_request()
+            self._write_json(payload, status)
+        finally:
+            # Released only after the body is fully written, so a drain
+            # that observes zero in-flight requests knows every admitted
+            # response is already on the wire.
+            app.release()
+        # Trip the max-requests breaker only after the body is written
+        # and released — shutting down mid-write would hand the last
+        # client a torn response.
+        app.maybe_trip()
+
+    def _write_json(
+        self, payload: dict, status: int, retry_after: int | None = None
+    ) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
-        # Count before writing (a client that has read its response must
-        # observe the updated counter), but trip the max-requests breaker
-        # only after the body is fully written — shutting down mid-write
-        # would hand the last client a torn response.
-        app.note_request()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
-        app.maybe_trip()
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         # Request logging is the app's choice, not stderr spam per hit.
         app: "ServeApp" = self.server.app  # type: ignore[attr-defined]
         if app.verbose:
             super().log_message(format, *args)
+
+
+class _ReuseportHTTPServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer that joins an ``SO_REUSEPORT`` group.
+
+    Every multi-process serve worker binds the *same* port with this
+    option set; the kernel then load-balances incoming connections
+    across the workers' accept queues — no parent proxy process, no
+    shared listening socket to inherit.
+    """
+
+    allow_reuse_address = False  # REUSEPORT is the sharing mechanism
+
+    def server_bind(self) -> None:
+        self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+
+def reuseport_available() -> bool:
+    """Whether this platform exposes ``SO_REUSEPORT`` (Linux, BSDs)."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+#: How long :meth:`ServeApp.shutdown` waits for in-flight requests.
+SHUTDOWN_GRACE_SECONDS = 5.0
 
 
 class ServeApp:
@@ -162,6 +222,14 @@ class ServeApp:
         After this many served requests the server shuts itself down —
         smoke tests and CI use it to run a bounded session without
         process-kill choreography.  ``None`` (default) serves forever.
+    max_inflight:
+        Admission-control bound: beyond this many concurrently admitted
+        requests, new ones are shed with ``503`` + ``Retry-After``
+        instead of queueing unboundedly.  ``None`` (default) admits all.
+    reuse_port:
+        Bind with ``SO_REUSEPORT`` so N worker processes can share one
+        port (:mod:`repro.serve.multiproc`); requires
+        :func:`reuseport_available`.
     verbose:
         Log each request line to stderr (stdlib format).
     """
@@ -173,6 +241,8 @@ class ServeApp:
         host: str = "127.0.0.1",
         port: int = 8765,
         max_requests: int | None = None,
+        max_inflight: int | None = None,
+        reuse_port: bool = False,
         verbose: bool = False,
     ):
         self.registry = registry
@@ -181,8 +251,16 @@ class ServeApp:
         self._max_requests = max_requests
         self._requests = 0
         self._requests_lock = threading.Lock()
+        self._max_inflight = max_inflight
+        self._inflight = 0
+        self._rejected = 0
+        self._inflight_cond = threading.Condition()
+        self._shutdown_lock = threading.Lock()
+        self._shutting_down = False
+        self._shutdown_done = threading.Event()
         self._started = time.monotonic()
-        self._server = ThreadingHTTPServer((host, port), _Handler)
+        server_class = _ReuseportHTTPServer if reuse_port else ThreadingHTTPServer
+        self._server = server_class((host, port), _Handler)
         self._server.daemon_threads = True
         self._server.app = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
@@ -220,13 +298,82 @@ class ServeApp:
         self._thread.start()
         return self
 
-    def shutdown(self) -> None:
-        self._server.shutdown()
-        self._server.server_close()
-        self.scheduler.shutdown(wait=False)
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+    def shutdown(self, grace: float = SHUTDOWN_GRACE_SECONDS) -> None:
+        """Stop accepting, drain in-flight requests, then tear down.
+
+        The drain is the torn-response fix: handler threads are daemons,
+        so stopping the scheduler (or exiting the process) while a
+        response is mid-write would cut the client off.  ``shutdown``
+        first stops the accept loop, then waits up to ``grace`` seconds
+        for every admitted request to finish writing, and only then
+        closes the socket and the scheduler.  Idempotent and safe to
+        call concurrently — late callers wait for the first shutdown to
+        complete instead of racing it.
+        """
+        with self._shutdown_lock:
+            first = not self._shutting_down
+            self._shutting_down = True
+        if not first:
+            self._shutdown_done.wait(timeout=grace + SHUTDOWN_GRACE_SECONDS)
+            return
+        try:
+            self._server.shutdown()  # stop the accept loop (blocks until out)
+            self.drain(grace)
+            self._server.server_close()
+            self.scheduler.shutdown(wait=False)
+            if self._thread is not None:
+                # Leave _thread set: observers may still poll it for
+                # liveness after shutdown completes.
+                self._thread.join(timeout=5.0)
+        finally:
+            self._shutdown_done.set()
+
+    def drain(self, grace: float = SHUTDOWN_GRACE_SECONDS) -> bool:
+        """Wait until no admitted request is in flight; True if drained."""
+        deadline = time.monotonic() + grace
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cond.wait(timeout=remaining)
+            return True
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    @property
+    def retry_after_seconds(self) -> int:
+        """The ``Retry-After`` hint sent with shed (503) responses."""
+        return 1
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_cond:
+            return self._inflight
+
+    @property
+    def requests_rejected(self) -> int:
+        with self._inflight_cond:
+            return self._rejected
+
+    def try_admit(self) -> bool:
+        """Admit one request, or refuse (the handler then sheds a 503)."""
+        with self._inflight_cond:
+            if (
+                self._max_inflight is not None
+                and self._inflight >= self._max_inflight
+            ):
+                self._rejected += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        """Mark one admitted request complete (response fully written)."""
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
 
     def note_request(self) -> None:
         """Count one served request."""
@@ -234,16 +381,18 @@ class ServeApp:
             self._requests += 1
 
     def maybe_trip(self) -> None:
-        """Stop the serve loop once ``max_requests`` responses are out."""
+        """Stop serving once ``max_requests`` responses are out."""
         with self._requests_lock:
             tripped = (
                 self._max_requests is not None
                 and self._requests >= self._max_requests
             )
         if tripped:
-            # shutdown() must come from another thread: serve_forever
-            # cannot process its own stop event while handling a request.
-            threading.Thread(target=self._server.shutdown, daemon=True).start()
+            # The full shutdown must come from another thread:
+            # serve_forever cannot process its own stop event while
+            # handling a request.  Reusing shutdown() means the breaker
+            # path drains in-flight requests exactly like a CLI exit.
+            threading.Thread(target=self.shutdown, daemon=True).start()
 
     # ------------------------------------------------------------------
     # Routing
@@ -260,6 +409,9 @@ class ServeApp:
                 {
                     "uptime_seconds": round(time.monotonic() - self._started, 3),
                     "requests": self.requests_served,
+                    "inflight": self.inflight,
+                    "rejected": self.requests_rejected,
+                    "max_inflight": self._max_inflight,
                     "registry": self.registry.stats(),
                     "scheduler": self.scheduler.stats(),
                 },
@@ -319,7 +471,10 @@ def make_app(
     build_shards: int | None = None,
     build_workers: int | None = None,
     max_requests: int | None = None,
+    max_inflight: int | None = None,
     lattice: bool = False,
+    artifacts: bool = False,
+    reuse_port: bool = False,
     verbose: bool = False,
 ) -> ServeApp:
     """Assemble a ready-to-start :class:`ServeApp` from flat options.
@@ -332,7 +487,12 @@ def make_app(
     one-shot); ``build_workers`` sizes its process pool.  ``lattice``
     routes every cold prepare through the dataset's rollup lattice
     (:mod:`repro.lattice`) — pre-build it with ``repro lattice build``
-    and point both at the same ``cache_dir``.
+    and point both at the same ``cache_dir``.  ``artifacts`` serves cold
+    prepares from (and feeds) the mmap-able finalized-cube artifact in
+    ``cache_dir`` (:mod:`repro.cube.artifact`) — the multi-process front
+    end (:mod:`repro.serve.multiproc`) relies on it so N workers share
+    one resident copy per dataset; ``reuse_port`` binds the listening
+    socket with ``SO_REUSEPORT`` for the same purpose.
     """
     builder = None
     if build_shards is not None and build_shards > 1:
@@ -350,6 +510,7 @@ def make_app(
         ttl_seconds=ttl_seconds,
         builder=builder,
         cache_dir=cache_dir,
+        artifacts=artifacts,
     )
     scheduler = QueryScheduler(registry, max_workers=query_workers)
     return ServeApp(
@@ -358,5 +519,7 @@ def make_app(
         host=host,
         port=port,
         max_requests=max_requests,
+        max_inflight=max_inflight,
+        reuse_port=reuse_port,
         verbose=verbose,
     )

@@ -34,7 +34,7 @@ from typing import Callable, Sequence
 
 from repro.core.config import ExplainConfig
 from repro.core.session import ExplainSession
-from repro.cube.cache import RollupCache
+from repro.cube.cache import CubeKey, RollupCache, cube_key
 from repro.datasets.base import Dataset
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.detect.session import DetectSession
@@ -118,7 +118,9 @@ def session_nbytes(session: ExplainSession) -> int:
     Counts the dominant arrays: the finalized series matrices plus the
     delta ledger's aggregate states.  Derived scorer-LRU entries are
     bounded separately (per session) and excluded — the estimate drives
-    relative eviction order, not an allocator.
+    relative eviction order, not an allocator.  The detect tier's
+    baseline state is counted separately (:func:`detector_nbytes`) and
+    folded into the entry estimate when a detector is built.
     """
     cube = session.cube
     total = (
@@ -133,6 +135,23 @@ def session_nbytes(session: ExplainSession) -> int:
         for ledger in state.ledgers:
             total += ledger.state.nbytes + ledger.counts.nbytes
     return total
+
+
+def detector_nbytes(detector: DetectSession) -> int:
+    """Resident-size estimate of a detect tier, in bytes.
+
+    The :class:`~repro.detect.baselines.TieredBaselines` mean/std
+    matrices are ``(n_candidates, n_times)`` float64 — they can rival
+    the cube itself, so leaving them out of the entry estimate would
+    make the memory budget trigger eviction late.
+    """
+    baselines = detector.baselines
+    return (
+        baselines.mean.nbytes
+        + baselines.std.nbytes
+        + baselines.tier.nbytes
+        + baselines.samples.nbytes
+    )
 
 
 @dataclass
@@ -157,6 +176,8 @@ class RegistryStats:
     evictions: int = 0
     expirations: int = 0
     build_seconds: float = 0.0
+    artifact_hits: int = 0
+    artifact_stores: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -166,6 +187,8 @@ class RegistryStats:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "build_seconds": self.build_seconds,
+            "artifact_hits": self.artifact_hits,
+            "artifact_stores": self.artifact_stores,
         }
 
 
@@ -188,6 +211,13 @@ class SessionRegistry:
     cache_dir:
         Persistent rollup-cache directory shared by every dataset; cold
         builds load from and store into it.
+    artifacts:
+        Serve cold prepares from the mmap-able finalized-cube artifact
+        (:mod:`repro.cube.artifact`) in ``cache_dir`` when one exists —
+        the series matrices are then memory-mapped read-only, so N
+        worker processes opening the same artifact share one resident
+        copy through the page cache (warm start near zero).  Cold builds
+        feed the artifact.  Requires ``cache_dir``; inert without one.
     clock:
         Injectable monotonic clock (tests pin TTL behaviour with it).
     """
@@ -199,6 +229,7 @@ class SessionRegistry:
         ttl_seconds: float | None = None,
         builder: ShardedBuilder | None = None,
         cache_dir: str | None = None,
+        artifacts: bool = False,
         clock: Callable[[], float] = time.monotonic,
     ):
         self._specs: dict[str, DatasetSpec] = {}
@@ -210,6 +241,7 @@ class SessionRegistry:
         self._builder = builder
         self._cache = RollupCache(cache_dir) if cache_dir else None
         self._cache_dir = cache_dir
+        self._artifacts = bool(artifacts and cache_dir)
         self._clock = clock
         self._stats = RegistryStats()
         # One lattice router per data fingerprint, shared by every spec
@@ -310,6 +342,13 @@ class SessionRegistry:
             if current is not None and current.session is session:
                 return current  # a racer built it first; adopt theirs
             self._detectors[name] = detector
+            # The baselines just became resident state of this dataset:
+            # fold them into the entry's byte estimate so the memory
+            # budget sees them, and re-check the budget right away.
+            entry = self._entries.get(name)
+            if entry is not None and entry.session is session:
+                entry.nbytes = session_nbytes(session) + detector_nbytes(detector)
+                self._enforce_budget()
             return detector
 
     # ------------------------------------------------------------------
@@ -392,6 +431,7 @@ class SessionRegistry:
                 memory_budget_bytes=self._memory_budget,
                 ttl_seconds=self._ttl,
                 cache_dir=self._cache_dir,
+                artifacts=self._artifacts,
                 sharded_builds=self._builder is not None,
                 lattice=self.lattice_stats(),
                 detect=self.detect_stats(),
@@ -469,6 +509,27 @@ class SessionRegistry:
         if self._cache_dir and not config.cache_dir:
             config = config.updated(cache_dir=self._cache_dir)
         explain_by = spec.explain_by or dataset.explain_by
+        artifact_key: CubeKey | None = None
+        if self._artifacts and not spec.lattice:
+            artifact_key = cube_key(
+                dataset.relation,
+                dataset.measure,
+                explain_by,
+                aggregate=dataset.aggregate,
+                max_order=config.max_order,
+                deduplicate=config.deduplicate,
+            )
+            adopted = self._adopt_artifact(
+                artifact_key,
+                relation=dataset.relation,
+                measure=dataset.measure,
+                explain_by=explain_by,
+                aggregate=dataset.aggregate,
+                config=config,
+                started=started,
+            )
+            if adopted is not None:
+                return adopted
         if spec.lattice:
             router = self._router_for(
                 dataset.relation.fingerprint(),
@@ -509,7 +570,62 @@ class SessionRegistry:
             )
         else:
             session.prepare()
+        self._store_artifact(artifact_key, session)
         return session, time.perf_counter() - started
+
+    def _adopt_artifact(
+        self,
+        key: CubeKey,
+        relation,
+        measure: str,
+        explain_by,
+        aggregate: str,
+        config: ExplainConfig,
+        started: float,
+        time_attr: str | None = None,
+    ) -> tuple[ExplainSession, float] | None:
+        """Build a session straight from a finalized artifact, if one exists.
+
+        The adopted cube's series matrices are memory-mapped read-only —
+        every process opening the same artifact shares one page-cache
+        copy, and the warm start skips the build entirely.  ``relation``
+        may be a lazy loader (source-backed specs): it is handed to the
+        session unmaterialized and stays lazy.
+        """
+        assert self._cache is not None
+        cube = self._cache.load_artifact(key)
+        if cube is None:
+            return None
+        session = ExplainSession(
+            relation,
+            measure=measure,
+            explain_by=explain_by,
+            aggregate=aggregate,
+            time_attr=time_attr,
+            config=config,
+        )
+        session.adopt_snapshot(
+            None,
+            cube,
+            cache_hit=True,
+            prepare_seconds=time.perf_counter() - started,
+        )
+        with self._lock:
+            self._stats.artifact_hits += 1
+        return session, time.perf_counter() - started
+
+    def _store_artifact(self, key: CubeKey | None, session: ExplainSession) -> None:
+        """Feed the artifact store after a cold build (never fails the build)."""
+        if key is None or self._cache is None:
+            return
+        try:
+            self._cache.store_artifact(key, session.cube)
+        except (TypeError, OSError):
+            # Non-JSON labels/values or an unwritable cache directory make
+            # the cube unpersistable; the build itself is still good.
+            return
+        with self._lock:
+            self._stats.artifact_stores += 1
 
     def _prepare_from_source(
         self, spec: DatasetSpec, started: float
@@ -524,6 +640,43 @@ class SessionRegistry:
         config = spec.config if spec.config is not None else ExplainConfig.optimized()
         if self._cache_dir and not config.cache_dir:
             config = config.updated(cache_dir=self._cache_dir)
+        artifact_key: CubeKey | None = None
+        if self._artifacts and not spec.lattice:
+            from repro.store.ingest import source_cube_key
+
+            schema = source.schema
+            measures = schema.measure_names()
+            if measures:
+                # Mirror ExplainSession.from_source's query defaults so
+                # the artifact key matches what the cold build produces.
+                measure = measures[0]
+                explain_by = (
+                    tuple(spec.explain_by)
+                    if spec.explain_by
+                    else schema.dimension_names()
+                )
+                artifact_key = source_cube_key(
+                    source,
+                    measure,
+                    explain_by,
+                    aggregate=source.default_aggregate,
+                    max_order=config.max_order,
+                    deduplicate=config.deduplicate,
+                )
+                adopted = self._adopt_artifact(
+                    artifact_key,
+                    relation=source.read,
+                    measure=measure,
+                    explain_by=explain_by,
+                    aggregate=source.default_aggregate,
+                    config=config,
+                    started=started,
+                    # The relation is a lazy loader: there is no schema to
+                    # default the time attribute from until first read.
+                    time_attr=schema.require_time(),
+                )
+                if adopted is not None:
+                    return adopted
         if spec.lattice:
             from repro.lattice.build import lattice_fingerprint
 
@@ -542,6 +695,7 @@ class SessionRegistry:
             explain_by=spec.explain_by,
             config=config,
         )
+        self._store_artifact(artifact_key, session)
         return session, time.perf_counter() - started
 
     def _router_for(self, fingerprint: str, time_attr: str) -> LatticeRouter:
@@ -572,11 +726,23 @@ class SessionRegistry:
         )
         self._entries.move_to_end(name)
         self._stats.build_seconds += build_seconds
+        self._enforce_budget()
+
+    def _enforce_budget(self) -> None:
+        """Evict LRU entries (and their detectors) past the memory budget.
+
+        The most recently used entry always survives, even alone over
+        budget — evicting the session a request is about to use would
+        thrash.  An evicted dataset's cached detector goes with it:
+        keeping baselines for a session the LRU just dropped would leak
+        exactly the bytes the budget is trying to bound.
+        """
         if self._memory_budget is None:
             return
         while (
             len(self._entries) > 1
             and sum(e.nbytes for e in self._entries.values()) > self._memory_budget
         ):
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._detectors.pop(evicted, None)
             self._stats.evictions += 1

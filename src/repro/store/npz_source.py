@@ -121,9 +121,12 @@ def _read_header(path: Path) -> dict:
 def _mmap_member(path: Path, member: str) -> np.ndarray:
     """Memory-map one uncompressed npy member of a zip archive.
 
-    Raises ``ValueError`` for anything the fast path cannot represent
-    (compressed member, Fortran order, object dtype, unknown npy
-    version); the caller falls back to ``np.load``.
+    Any C-order array maps, whatever its rank — column snapshots are 1-D,
+    the finalized-cube artifact (:mod:`repro.cube.artifact`) maps its
+    ``(epsilon, n)`` series matrices through the same helper.  Raises
+    ``ValueError`` for anything the fast path cannot represent
+    (compressed member, Fortran order, object dtype, 0-d scalar, unknown
+    npy version); the caller falls back to ``np.load``.
     """
     with zipfile.ZipFile(path) as archive:
         info = archive.getinfo(f"{member}.npy")
@@ -144,7 +147,7 @@ def _mmap_member(path: Path, member: str) -> np.ndarray:
             shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
         else:
             raise ValueError(f"unsupported npy version {version}")
-        if fortran or dtype.hasobject or len(shape) != 1:
+        if fortran or dtype.hasobject or len(shape) == 0:
             raise ValueError("member layout not mappable")
         offset = handle.tell()
     return np.memmap(path, dtype=dtype, mode="r", shape=shape, offset=offset)
