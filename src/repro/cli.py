@@ -1015,6 +1015,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         lattice=args.lattice,
         verbose=args.verbose,
+        access_log=args.access_log,
+        slow_query_ms=args.slow_query_ms,
+        trace_sample=args.trace_sample,
     )
     workers = args.workers
     if workers > 1:
@@ -1048,7 +1051,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"repro serve listening on {pool.url}", flush=True)
         print(
             f"endpoints: {pool.url}/explain?dataset=NAME  /diff  /recommend  "
-            "/datasets  /stats  /healthz",
+            "/detect  /datasets  /stats  /healthz  /metrics",
             flush=True,
         )
         print(f"workers: {len(pool.pids)} (pids {', '.join(map(str, pool.pids))})", flush=True)
@@ -1066,7 +1069,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(f"repro serve listening on {app.url}", flush=True)
     print(
         f"endpoints: {app.url}/explain?dataset=NAME  /diff  /recommend  "
-        "/datasets  /stats  /healthz",
+        "/detect  /datasets  /stats  /healthz  /metrics",
         flush=True,
     )
     try:
@@ -1409,7 +1412,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log each request to stderr"
     )
-    serve.set_defaults(handler=_command_serve)
+    serve.add_argument(
+        "--no-access-log",
+        dest="access_log",
+        action="store_false",
+        help="disable the structured JSON access log (one line per request "
+        "with latency and trace id; enabled by default)",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        help="log requests slower than this many milliseconds to the "
+        "slow-query log (JSON lines with trace ids, under <cache-dir>/obs "
+        "when a cache dir is set, else stderr; default off)",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="fraction of requests whose phase-span tree is recorded and "
+        "exported (default 1.0; every response still carries an "
+        "X-Repro-Trace-Id header)",
+    )
+    serve.set_defaults(handler=_command_serve, access_log=True)
     return parser
 
 

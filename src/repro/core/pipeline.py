@@ -30,6 +30,7 @@ from repro.cube.datacube import ExplanationCube
 from repro.cube.filters import apply_support_filter
 from repro.diff.scorer import ScoredExplanation, SegmentScorer
 from repro.exceptions import SegmentationError
+from repro.obs.trace import span
 from repro.relation.table import Relation
 from repro.segmentation.dp import SegmentationScheme, solve_k_segmentation
 from repro.segmentation.kselect import elbow_point
@@ -59,17 +60,18 @@ def prepare_cube(
         if config.cache_dir
         else None
     )
-    cube, hit = load_or_build(
-        cache,
-        relation,
-        explain_by,
-        measure,
-        aggregate=aggregate,
-        time_attr=time_attr,
-        max_order=config.max_order,
-        deduplicate=config.deduplicate,
-        columnar=config.columnar,
-    )
+    with span("cube-build"):
+        cube, hit = load_or_build(
+            cache,
+            relation,
+            explain_by,
+            measure,
+            aggregate=aggregate,
+            time_attr=time_attr,
+            max_order=config.max_order,
+            deduplicate=config.deduplicate,
+            columnar=config.columnar,
+        )
     return cube, (hit if cache is not None else None)
 
 
@@ -287,46 +289,50 @@ class ExplainPipeline:
         }
 
         started = time.perf_counter()
-        scorer = self.prepare()
-        solver = self.solver(scorer)
+        with span("precompute"):
+            scorer = self.prepare()
+            solver = self.solver(scorer)
         timings["precomputation"] += time.perf_counter() - started
 
         n_times = scorer.cube.n_times
         if n_times < 2:
             raise SegmentationError("cannot explain a series with fewer than 2 points")
 
-        positions: np.ndarray | None = None
-        if config.use_sketch and n_times >= 8:
-            sketch_timings: dict[str, float] = {}
-            positions = select_sketch(
+        with span("score"):
+            positions: np.ndarray | None = None
+            if config.use_sketch and n_times >= 8:
+                sketch_timings: dict[str, float] = {}
+                positions = select_sketch(
+                    scorer,
+                    solver,
+                    m=config.m,
+                    variant=config.variant,
+                    length_cap=config.sketch_length,
+                    size=config.sketch_size,
+                    timings=sketch_timings,
+                )
+                timings["precomputation"] += sketch_timings.get("precompute", 0.0)
+                timings["cascading"] += sketch_timings.get("cascading", 0.0)
+                timings["segmentation"] += sketch_timings.get("segmentation", 0.0)
+
+            costs = SegmentationCosts(
                 scorer,
                 solver,
                 m=config.m,
                 variant=config.variant,
-                length_cap=config.sketch_length,
-                size=config.sketch_size,
-                timings=sketch_timings,
+                cut_positions=positions,
             )
-            timings["precomputation"] += sketch_timings.get("precompute", 0.0)
-            timings["cascading"] += sketch_timings.get("cascading", 0.0)
-            timings["segmentation"] += sketch_timings.get("segmentation", 0.0)
-
-        costs = SegmentationCosts(
-            scorer,
-            solver,
-            m=config.m,
-            variant=config.variant,
-            cut_positions=positions,
-        )
         timings["precomputation"] += costs.timings["precompute"]
         timings["cascading"] += costs.timings["cascading"]
         timings["segmentation"] += costs.timings["segmentation"]
 
         dp_started = time.perf_counter()
-        scheme, k_was_auto, by_k = select_scheme(costs, config)
+        with span("segment"):
+            scheme, k_was_auto, by_k = select_scheme(costs, config)
         timings["segmentation"] += time.perf_counter() - dp_started
 
-        result = self._assemble(scorer, costs, scheme, k_was_auto, by_k, timings)
+        with span("finalize"):
+            result = self._assemble(scorer, costs, scheme, k_was_auto, by_k, timings)
         return result
 
     # ------------------------------------------------------------------

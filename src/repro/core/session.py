@@ -45,6 +45,7 @@ from repro.cube.delta import AppendInfo
 from repro.cube.filters import apply_support_filter
 from repro.diff.scorer import ScoredExplanation, SegmentScorer
 from repro.exceptions import QueryError
+from repro.obs.trace import span
 from repro.relation.groupby import aggregate_over_time
 from repro.relation.table import Relation
 from repro.relation.timeseries import TimeSeries
@@ -714,21 +715,22 @@ class ExplainSession:
             if cached is not None:
                 self._scorers.move_to_end(key)
                 return cached
-            cube = self.cube
-            if (start_pos, stop_pos) != (0, cube.n_times - 1):
-                cube = cube.slice_time(start_pos, stop_pos)
-            if config.smoothing_window is not None:
-                cube = smooth_cube(cube, config.smoothing_window)
-            if config.use_filter:
-                cube = apply_support_filter(cube, config.filter_ratio)
-            if self._cube is not None and self._cube.appendable:
-                # The derived cube may view/alias the live cube's buffers,
-                # which append() re-finalizes in place.  Snapshot it so a
-                # solve running outside the lock can never observe an
-                # append's partial writes (append still drops the LRU
-                # entries the delta actually invalidates).
-                cube = cube.detach(self._cube)
-            scorer = SegmentScorer(cube, config.metric)
+            with span("derive-scorer"):
+                cube = self.cube
+                if (start_pos, stop_pos) != (0, cube.n_times - 1):
+                    cube = cube.slice_time(start_pos, stop_pos)
+                if config.smoothing_window is not None:
+                    cube = smooth_cube(cube, config.smoothing_window)
+                if config.use_filter:
+                    cube = apply_support_filter(cube, config.filter_ratio)
+                if self._cube is not None and self._cube.appendable:
+                    # The derived cube may view/alias the live cube's
+                    # buffers, which append() re-finalizes in place.
+                    # Snapshot it so a solve running outside the lock can
+                    # never observe an append's partial writes (append
+                    # still drops the LRU entries the delta invalidates).
+                    cube = cube.detach(self._cube)
+                scorer = SegmentScorer(cube, config.metric)
             self._scorers[key] = scorer
             while len(self._scorers) > self._scorer_cache_size:
                 self._scorers.popitem(last=False)

@@ -75,10 +75,19 @@ import numpy as np
 from repro.cube.datacube import ExplanationCube
 from repro.cube.delta import CubeAppendState, SubsetLedger
 from repro.exceptions import AggregateError, QueryError
+from repro.obs.metrics import get_registry as _get_metrics
 from repro.relation.aggregates import AggregateFunction, get_aggregate
 from repro.relation.predicates import Conjunction
 from repro.relation.schema import Attribute, AttributeKind, Schema
 from repro.relation.table import Relation
+
+
+def _requests_counter(name: str, help: str):
+    """A labeled ``{outcome}`` counter on the *current* default metrics
+    registry (resolved per call so tests that swap the registry with
+    ``set_registry`` observe cache traffic in their own instance)."""
+    return _get_metrics().counter(name, help, labels=("outcome",))
+
 
 #: Bump when the on-disk payload layout changes; older entries then read
 #: as misses and are rebuilt.
@@ -233,6 +242,13 @@ class RollupCache:
         Entries stored with their delta ledger (appendable cubes) revive
         as appendable cubes; ledger-less entries load as fixed cubes.
         """
+        cube = self._load(key)
+        _requests_counter("repro_rollup_cache_requests_total", "Rollup cache operations by outcome (hit / miss / store)").inc(
+            outcome="hit" if cube is not None else "miss"
+        )
+        return cube
+
+    def _load(self, key: CubeKey) -> ExplanationCube | None:
         path = self.path_for(key)
         try:
             with np.load(path, allow_pickle=False) as data:
@@ -375,6 +391,9 @@ class RollupCache:
                     pass
                 raise
             self._evict()
+            _requests_counter(
+                "repro_rollup_cache_requests_total", "Rollup cache operations by outcome (hit / miss / store)"
+            ).inc(outcome="store")
             return path
         assert last_error is not None
         raise last_error
@@ -397,7 +416,11 @@ class RollupCache:
         """
         from repro.cube.artifact import write_artifact
 
-        return write_artifact(self._directory, key, cube)
+        path = write_artifact(self._directory, key, cube)
+        _requests_counter(
+            "repro_artifact_requests_total", "Finalized-cube artifact operations by outcome (hit / miss / store)"
+        ).inc(outcome="store")
+        return path
 
     def load_artifact(
         self, key: CubeKey, mmap: bool = True, appendable: bool = False
@@ -406,9 +429,13 @@ class RollupCache:
         as :meth:`load` (corruption reads as a miss, never an error)."""
         from repro.cube.artifact import open_artifact
 
-        return open_artifact(
+        cube = open_artifact(
             self._directory, key, mmap=mmap, appendable=appendable
         )
+        _requests_counter(
+            "repro_artifact_requests_total", "Finalized-cube artifact operations by outcome (hit / miss / store)"
+        ).inc(outcome="hit" if cube is not None else "miss")
+        return cube
 
     def _glob(self, pattern: str) -> list[Path]:
         """Directory listing that tolerates the directory vanishing.

@@ -32,6 +32,8 @@ from repro.detect.baselines import TieredBaselines
 from repro.detect.scoring import AnomalyReport, CellScore, DetectConfig, score_columns
 from repro.detect.suppression import SuppressionPlan, build_plan
 from repro.exceptions import ReproError
+from repro.obs.metrics import get_registry as _get_metrics
+from repro.obs.trace import span
 from repro.relation.table import Relation
 
 
@@ -115,7 +117,7 @@ class DetectSession:
         columns: Sequence[int] | np.ndarray | None = None,
     ) -> AnomalyReport:
         """Score the given columns (default: the whole time axis)."""
-        with self._lock:
+        with span("detect-scan"), self._lock:
             started = time.perf_counter()
             report = score_columns(
                 self._session.cube,
@@ -127,7 +129,17 @@ class DetectSession:
             self._scans += 1
             self._cells_scored += report.cells_scored
             self._anomalies += len(report.cells)
-            return report
+        metrics = _get_metrics()
+        metrics.counter(
+            "repro_detect_scans_total", "Detect tier scans executed"
+        ).inc()
+        metrics.counter(
+            "repro_detect_cells_scored_total", "Cube cells scored by the detect tier"
+        ).inc(report.cells_scored)
+        metrics.counter(
+            "repro_detect_anomalies_total", "Anomalous cells surfaced by scans"
+        ).inc(len(report.cells))
+        return report
 
     def append(self, delta: Relation) -> DetectUpdate:
         """Absorb a delta and score exactly the columns it touched.

@@ -36,6 +36,16 @@ from repro.exceptions import QueryError
 from repro.lattice.derive import aggregate_components, can_derive, derive_rollup
 from repro.lattice.manifest import LatticeManifest
 from repro.lattice.spec import RollupSpec, rollup_key
+from repro.obs.metrics import get_registry as _get_metrics
+from repro.obs.trace import span
+
+
+def _routes_counter():
+    return _get_metrics().counter(
+        "repro_lattice_routes_total",
+        "Lattice routing decisions (exact / derived / miss)",
+        labels=("decision",),
+    )
 
 
 @dataclass(frozen=True)
@@ -186,10 +196,11 @@ class LatticeRouter:
         self, spec: RollupSpec
     ) -> tuple[ExplanationCube | None, RouteInfo]:
         """Answer one cube request from the lattice; ``None`` on a miss."""
-        with self._lock:
+        with span("lattice-route"), self._lock:
             if spec in self._manifest:
                 cube = self._load(spec)
                 self._exact_hits += 1
+                _routes_counter().inc(decision="exact")
                 return cube, RouteInfo("exact", spec, spec)
             candidates = [
                 entry.spec
@@ -201,9 +212,11 @@ class LatticeRouter:
                 cube = derive_rollup(self._load(source), spec)
                 self._derivations += 1
                 self._derived_hits += 1
+                _routes_counter().inc(decision="derived")
                 self._install(spec, cube, "derived")
                 return cube, RouteInfo("derived", spec, source)
             self._lattice_miss += 1
+            _routes_counter().inc(decision="miss")
             self._miss_counts[spec] = self._miss_counts.get(spec, 0) + 1
             return None, RouteInfo("miss", spec)
 

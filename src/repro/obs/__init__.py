@@ -1,0 +1,54 @@
+"""repro.obs — metrics, tracing, and structured logs (stdlib-only).
+
+Three cooperating surfaces:
+
+* :mod:`repro.obs.metrics` — thread-safe labeled counters/gauges/
+  histograms, Prometheus text exposition, and per-worker snapshot
+  persistence so multi-process serving merges into one scrape;
+* :mod:`repro.obs.trace` — contextvar-propagated per-request trace ids
+  and nested phase spans, exported as JSON lines;
+* :mod:`repro.obs.logging` — JSON log formatter plus the serve access
+  log and the ``--slow-query-ms`` slow-query log.
+"""
+
+from repro.obs.logging import AccessLog, JsonFormatter, SlowQueryLog
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    SnapshotStore,
+    get_registry,
+    merge_snapshots,
+    parse_exposition,
+    render_snapshot,
+    set_registry,
+)
+from repro.obs.trace import (
+    JsonLinesExporter,
+    Trace,
+    current_trace,
+    current_trace_id,
+    record_span,
+    span,
+    start_trace,
+)
+
+__all__ = [
+    "AccessLog",
+    "DEFAULT_LATENCY_BUCKETS",
+    "JsonFormatter",
+    "JsonLinesExporter",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "SnapshotStore",
+    "Trace",
+    "current_trace",
+    "current_trace_id",
+    "get_registry",
+    "merge_snapshots",
+    "parse_exposition",
+    "record_span",
+    "render_snapshot",
+    "set_registry",
+    "span",
+    "start_trace",
+]

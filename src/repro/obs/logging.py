@@ -1,0 +1,166 @@
+"""Structured JSON logging: formatter, serve access log, slow-query log.
+
+Every record renders as one JSON object per line, so the serve tier's
+logs are machine-parseable without a log-shipping dependency.  The
+access and slow-query logs deliberately instantiate ``logging.Logger``
+directly instead of calling ``logging.getLogger`` — tests spin up many
+apps per process, and registering handlers on shared global loggers
+would duplicate every line once per app.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import IO
+
+#: LogRecord attributes that are plumbing, not payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """Render records as single-line JSON with extras inlined."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 3),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(",", ":"))
+
+
+class AccessLog:
+    """Structured request log for the serve tier.
+
+    One line per completed (or shed) request: method, path, dataset,
+    status, latency and the request's trace id — the runtime
+    counterpart of the paper's offline latency tables.
+    """
+
+    def __init__(self, stream: IO[str] | None = None):
+        # Deliberately NOT logging.getLogger: a private logger keeps each
+        # ServeApp's handler isolated from every other app in the process.
+        self._logger = logging.Logger("repro.access", level=logging.INFO)
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(JsonFormatter())
+        self._logger.addHandler(handler)
+
+    def log(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        latency_ms: float,
+        dataset: str | None = None,
+        trace_id: str | None = None,
+    ) -> None:
+        self._logger.info(
+            "%s %s %d",
+            method,
+            path,
+            status,
+            extra={
+                "method": method,
+                "path": path,
+                "status": status,
+                "latency_ms": round(latency_ms, 3),
+                "dataset": dataset,
+                "trace_id": trace_id,
+            },
+        )
+
+    def message(self, text: str) -> None:
+        """A free-form server message (stdlib handler plumbing)."""
+        self._logger.info("%s", text)
+
+
+class SlowQueryLog:
+    """JSON-lines record of requests slower than a threshold.
+
+    Enabled by ``repro serve --slow-query-ms``; each entry carries the
+    trace id so a slow request can be joined against its span tree in
+    the trace export.
+    """
+
+    def __init__(
+        self,
+        threshold_ms: float,
+        path: str | Path | None = None,
+        stream: IO[str] | None = None,
+    ):
+        self.threshold_ms = float(threshold_ms)
+        self._path = Path(path).expanduser() if path is not None else None
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    @property
+    def path(self) -> Path | None:
+        return self._path
+
+    def observe(
+        self,
+        path: str,
+        latency_ms: float,
+        dataset: str | None = None,
+        trace_id: str | None = None,
+        status: int | None = None,
+    ) -> bool:
+        """Record the request if it exceeded the threshold."""
+        if latency_ms < self.threshold_ms:
+            return False
+        entry = {
+            "ts": round(time.time(), 3),
+            "path": path,
+            "dataset": dataset,
+            "status": status,
+            "latency_ms": round(latency_ms, 3),
+            "threshold_ms": self.threshold_ms,
+            "trace_id": trace_id,
+        }
+        line = json.dumps(entry, separators=(",", ":"))
+        with self._lock:
+            if self._path is not None:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                with open(self._path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+            if self._stream is not None:
+                self._stream.write(line + "\n")
+        return True
+
+    @staticmethod
+    def read(path: str | Path) -> list[dict]:
+        """Every well-formed slow-query entry in ``path``."""
+        entries: list[dict] = []
+        try:
+            text = Path(path).expanduser().read_text(encoding="utf-8")
+        except OSError:
+            return entries
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(payload, dict) and "latency_ms" in payload:
+                entries.append(payload)
+        return entries

@@ -1,0 +1,617 @@
+"""Thread-safe labeled metrics with a Prometheus text exposition.
+
+The observability layer's counting surface: a :class:`MetricsRegistry`
+owns labeled :class:`Counter`s, :class:`Gauge`s and fixed-bucket latency
+:class:`Histogram`s, all guarded by one registry lock so scheduler
+threads can increment concurrently without losing updates.  Three output
+shapes come off the same registry:
+
+* :meth:`MetricsRegistry.snapshot` — a JSON-able dict of every series,
+  the unit of cross-process merging;
+* :func:`render_snapshot` / :meth:`MetricsRegistry.render` — the
+  Prometheus text exposition format (version 0.0.4) a ``GET /metrics``
+  scrape returns;
+* :func:`parse_exposition` — a small validating parser for the same
+  format, used by tests and the CI smoke to prove a scrape is
+  well-formed without any external dependency.
+
+Multi-process serving (:mod:`repro.serve.multiproc`) cannot share one
+registry across ``SO_REUSEPORT`` workers, so each worker periodically
+persists its snapshot as a JSON file under the cache directory
+(:class:`SnapshotStore`, keyed by worker id and pid) and any worker's
+``/metrics`` handler merges every live worker's snapshot
+(:func:`merge_snapshots`) — one scrape sees the whole pool.  Counters
+and histograms merge by summation; gauges also sum (queue depths and
+in-flight counts are per-worker quantities whose pool-wide value is the
+sum — per-worker breakdowns belong in labels, not in merge semantics).
+
+Deep layers (cube cache, lattice router, detect tier) record into the
+process-wide default registry (:func:`get_registry`) so they need no
+plumbed-through handle; tests isolate themselves with
+:func:`set_registry`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.exceptions import QueryError
+
+#: Default latency buckets (seconds) — request-scale, sub-ms to 10 s.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Coarser buckets (seconds) for prepare/build phases, which run longer.
+BUILD_BUCKETS: tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Snapshot payload format; bump on layout changes so stale files from a
+#: previous version read as unmergeable and are skipped.
+SNAPSHOT_FORMAT = 1
+
+#: Filename prefix/suffix of persisted worker snapshots.
+SNAPSHOT_PREFIX = "metrics-"
+SNAPSHOT_SUFFIX = ".json"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise QueryError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labels(labels: Sequence[str]) -> tuple[str, ...]:
+    for label in labels:
+        if not _LABEL_RE.match(label):
+            raise QueryError(f"invalid label name {label!r}")
+    return tuple(labels)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_int = int(value)
+    return str(as_int) if as_int == value else repr(value)
+
+
+class _Metric:
+    """One metric family; series live in the owning registry's lock."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str, labels: tuple[str, ...]):
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labels = labels
+
+    def _key(self, label_values: Mapping[str, object]) -> tuple[str, ...]:
+        if set(label_values) != set(self.labels):
+            raise QueryError(
+                f"metric {self.name!r} takes labels {list(self.labels)}, "
+                f"got {sorted(label_values)}"
+            )
+        return tuple(str(label_values[label]) for label in self.labels)
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise QueryError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        with self._registry._lock:
+            series = self._registry._series[self.name]
+            series[key] = series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        key = self._key(labels)
+        with self._registry._lock:
+            return self._registry._series[self.name].get(key, 0.0)
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, in-flight count)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._registry._lock:
+            self._registry._series[self.name][key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = self._key(labels)
+        with self._registry._lock:
+            series = self._registry._series[self.name]
+            series[key] = series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        key = self._key(labels)
+        with self._registry._lock:
+            return self._registry._series[self.name].get(key, 0.0)
+
+
+class Histogram(_Metric):
+    """Fixed-bucket latency distribution (cumulative ``le`` semantics).
+
+    Each series holds per-bucket *non-cumulative* counts plus a running
+    sum and count; rendering accumulates them into the Prometheus
+    ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple.  An observation
+    equal to a bucket's upper bound lands in that bucket (``le`` is
+    inclusive); anything beyond the last bound lands in ``+Inf``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, labels, buckets: tuple[float, ...]):
+        super().__init__(registry, name, help, labels)
+        self.buckets = buckets
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        index = len(self.buckets)  # +Inf by default
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._registry._lock:
+            series = self._registry._series[self.name]
+            state = series.get(key)
+            if state is None:
+                state = series[key] = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+            state["counts"][index] += 1
+            state["sum"] += float(value)
+            state["count"] += 1
+
+    def state(self, **labels) -> dict | None:
+        key = self._key(labels)
+        with self._registry._lock:
+            state = self._registry._series[self.name].get(key)
+            return json.loads(json.dumps(state)) if state is not None else None
+
+
+class MetricsRegistry:
+    """A process-local set of metric families behind one lock.
+
+    Families are get-or-create: asking twice for the same name returns
+    the same object, and asking with a conflicting type, label set or
+    bucket layout raises :class:`~repro.exceptions.QueryError` loudly —
+    two call sites silently disagreeing about a metric's shape would
+    corrupt every scrape after.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._metrics: dict[str, _Metric] = {}
+        # name -> {label-values-tuple -> float | histogram-state-dict}
+        self._series: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Family registration
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        buckets = tuple(float(b) for b in buckets)
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise QueryError(
+                f"histogram {name!r} needs strictly increasing, non-empty buckets"
+            )
+        metric = self._register(Histogram, name, help, labels, buckets=buckets)
+        if metric.buckets != buckets:
+            raise QueryError(
+                f"histogram {name!r} already registered with buckets "
+                f"{list(metric.buckets)}"
+            )
+        return metric
+
+    def _register(self, cls, name: str, help: str, labels: Sequence[str], **extra):
+        _check_name(name)
+        labels = _check_labels(labels)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labels != labels:
+                    raise QueryError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {list(existing.labels)}"
+                    )
+                return existing
+            metric = cls(self, name, help, labels, **extra)
+            self._metrics[name] = metric
+            self._series[name] = {}
+            return metric
+
+    def families(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    # ------------------------------------------------------------------
+    # Snapshots and rendering
+    # ------------------------------------------------------------------
+    def snapshot(self, worker: str | None = None) -> dict:
+        """A JSON-able copy of every series (the merge/persist unit)."""
+        with self._lock:
+            metrics: dict[str, dict] = {}
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                family: dict = {
+                    "type": metric.kind,
+                    "help": metric.help,
+                    "labels": list(metric.labels),
+                    "series": [],
+                }
+                if isinstance(metric, Histogram):
+                    family["buckets"] = list(metric.buckets)
+                for key in sorted(self._series[name]):
+                    value = self._series[name][key]
+                    if isinstance(metric, Histogram):
+                        family["series"].append(
+                            {
+                                "labels": list(key),
+                                "buckets": list(value["counts"]),
+                                "sum": value["sum"],
+                                "count": value["count"],
+                            }
+                        )
+                    else:
+                        family["series"].append({"labels": list(key), "value": value})
+                metrics[name] = family
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "pid": os.getpid(),
+            "worker": worker if worker is not None else str(os.getpid()),
+            "written_unix": time.time(),
+            "metrics": metrics,
+        }
+
+    def render(self, extra_snapshots: Iterable[dict] = ()) -> str:
+        """This registry's exposition text, merged with ``extra_snapshots``."""
+        snapshots = [self.snapshot(), *extra_snapshots]
+        return render_snapshot(merge_snapshots(snapshots))
+
+
+# ----------------------------------------------------------------------
+# The process-wide default registry
+# ----------------------------------------------------------------------
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry deep layers record into."""
+    with _default_lock:
+        return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+        return previous
+
+
+# ----------------------------------------------------------------------
+# Merging and exposition
+# ----------------------------------------------------------------------
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Sum many snapshots into one (the multi-worker ``/metrics`` view).
+
+    Counters, gauges and histogram series merge by summation per
+    ``(metric, label-values)``; a family whose type/labels/buckets
+    disagree across snapshots keeps the first spelling and skips the
+    conflicting contribution (one worker running newer code must not
+    poison the whole scrape).
+    """
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        if snapshot.get("format") != SNAPSHOT_FORMAT:
+            continue
+        for name, family in snapshot.get("metrics", {}).items():
+            target = merged.get(name)
+            if target is None:
+                target = merged[name] = {
+                    "type": family["type"],
+                    "help": family["help"],
+                    "labels": list(family["labels"]),
+                    "series": [],
+                }
+                if "buckets" in family:
+                    target["buckets"] = list(family["buckets"])
+                index: dict[tuple, dict] = {}
+                target["_index"] = index
+            if (
+                target["type"] != family["type"]
+                or target["labels"] != list(family["labels"])
+                or target.get("buckets") != family.get("buckets")
+            ):
+                continue
+            index = target["_index"]
+            for series in family["series"]:
+                key = tuple(series["labels"])
+                existing = index.get(key)
+                if existing is None:
+                    copied = json.loads(json.dumps(series))
+                    index[key] = copied
+                    target["series"].append(copied)
+                elif family["type"] == "histogram":
+                    existing["buckets"] = [
+                        a + b for a, b in zip(existing["buckets"], series["buckets"])
+                    ]
+                    existing["sum"] += series["sum"]
+                    existing["count"] += series["count"]
+                else:
+                    existing["value"] += series["value"]
+    for family in merged.values():
+        family.pop("_index", None)
+        family["series"].sort(key=lambda s: s["labels"])
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "pid": os.getpid(),
+        "worker": "merged",
+        "written_unix": time.time(),
+        "metrics": dict(sorted(merged.items())),
+    }
+
+
+def _sample_line(name: str, labels: Sequence[str], values: Sequence[str], value: float) -> str:
+    if labels:
+        body = ",".join(
+            f'{label}="{_escape_label_value(str(val))}"'
+            for label, val in zip(labels, values)
+        )
+        return f"{name}{{{body}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """One snapshot as Prometheus text exposition (version 0.0.4)."""
+    lines: list[str] = []
+    for name, family in snapshot.get("metrics", {}).items():
+        if family.get("help"):
+            escaped = family["help"].replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        labels = family["labels"]
+        for series in family["series"]:
+            values = series["labels"]
+            if family["type"] == "histogram":
+                cumulative = 0
+                for bound, count in zip(family["buckets"], series["buckets"]):
+                    cumulative += count
+                    lines.append(
+                        _sample_line(
+                            f"{name}_bucket",
+                            [*labels, "le"],
+                            [*values, f"{bound:g}"],
+                            cumulative,
+                        )
+                    )
+                cumulative += series["buckets"][-1]
+                lines.append(
+                    _sample_line(
+                        f"{name}_bucket", [*labels, "le"], [*values, "+Inf"], cumulative
+                    )
+                )
+                lines.append(
+                    _sample_line(f"{name}_sum", labels, values, series["sum"])
+                )
+                lines.append(
+                    _sample_line(f"{name}_count", labels, values, series["count"])
+                )
+            else:
+                lines.append(_sample_line(name, labels, values, series["value"]))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_exposition(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse (and validate) Prometheus text exposition into samples.
+
+    Returns ``{(sample_name, sorted((label, value), ...)): value}``.
+    Raises :class:`~repro.exceptions.QueryError` on malformed lines, a
+    sample outside any declared ``# TYPE`` family, an unparsable value,
+    or a histogram whose cumulative bucket counts decrease — the checks
+    the CI smoke runs against a live scrape.
+    """
+    families: dict[str, str] = {}
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    histogram_last: dict[tuple, float] = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or parts[3] not in ("counter", "gauge", "histogram", "untyped"):
+                raise QueryError(f"line {line_number}: malformed TYPE line {raw!r}")
+            families[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise QueryError(f"line {line_number}: malformed sample {raw!r}")
+        name, label_body, value_text = match.groups()
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                family = name[: -len(suffix)]
+                break
+        if family not in families:
+            raise QueryError(f"line {line_number}: sample {name!r} has no TYPE declaration")
+        if family != name and families[family] != "histogram":
+            raise QueryError(
+                f"line {line_number}: {name!r} suffix on non-histogram family {family!r}"
+            )
+        labels: list[tuple[str, str]] = []
+        if label_body:
+            consumed = _LABEL_PAIR_RE.sub("", label_body).replace(",", "").strip()
+            if consumed:
+                raise QueryError(f"line {line_number}: malformed labels {label_body!r}")
+            labels = [
+                (label, _unescape_label_value(value))
+                for label, value in _LABEL_PAIR_RE.findall(label_body)
+            ]
+        try:
+            if value_text == "+Inf":
+                value = math.inf
+            elif value_text == "-Inf":
+                value = -math.inf
+            else:
+                value = float(value_text)
+        except ValueError:
+            raise QueryError(
+                f"line {line_number}: unparsable value {value_text!r}"
+            ) from None
+        key = (name, tuple(sorted(labels)))
+        if key in samples:
+            raise QueryError(f"line {line_number}: duplicate sample {key}")
+        samples[key] = value
+        if name.endswith("_bucket") and families.get(family) == "histogram":
+            series = (family, tuple(sorted(l for l in labels if l[0] != "le")))
+            previous = histogram_last.get(series)
+            if previous is not None and value < previous:
+                raise QueryError(
+                    f"line {line_number}: histogram {family!r} bucket counts decrease"
+                )
+            histogram_last[series] = value
+    return samples
+
+
+# ----------------------------------------------------------------------
+# Cross-process snapshot persistence
+# ----------------------------------------------------------------------
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (OSError, PermissionError):
+        return True
+    return True
+
+
+class SnapshotStore:
+    """Periodic per-worker snapshot files under one shared directory.
+
+    Each ``SO_REUSEPORT`` serve worker writes its registry snapshot to
+    ``metrics-<worker_id>.json`` (atomic: temp file + rename); a scrape
+    on any worker reads every file, drops snapshots whose writer pid is
+    dead (a restarted worker would otherwise be double-counted against
+    its own ghost) and merges the rest.
+    """
+
+    def __init__(self, directory: str | Path):
+        self._directory = Path(directory).expanduser()
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def path_for(self, worker_id: str) -> Path:
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "_", str(worker_id))
+        return self._directory / f"{SNAPSHOT_PREFIX}{safe}{SNAPSHOT_SUFFIX}"
+
+    def write(self, snapshot: dict, worker_id: str | None = None) -> Path:
+        """Atomically persist one snapshot; returns its path."""
+        worker_id = worker_id if worker_id is not None else snapshot.get("worker", "0")
+        self._directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(worker_id)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self._directory, suffix=f"{SNAPSHOT_SUFFIX}.tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(snapshot, tmp)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load_all(self, alive: Callable[[int], bool] = _pid_alive) -> list[dict]:
+        """Every readable, live-writer snapshot in the directory.
+
+        Corrupt or foreign files are skipped (a crashed writer must not
+        poison the pool's scrape), as are snapshots whose recorded pid
+        no longer exists.
+        """
+        snapshots: list[dict] = []
+        try:
+            paths = sorted(self._directory.glob(f"{SNAPSHOT_PREFIX}*{SNAPSHOT_SUFFIX}"))
+        except OSError:
+            return snapshots
+        for path in paths:
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if not isinstance(payload, dict) or payload.get("format") != SNAPSHOT_FORMAT:
+                continue
+            pid = payload.get("pid")
+            if isinstance(pid, int) and not alive(pid):
+                continue
+            snapshots.append(payload)
+        return snapshots
+
+    def delete(self, worker_id: str) -> bool:
+        try:
+            self.path_for(worker_id).unlink()
+            return True
+        except OSError:
+            return False

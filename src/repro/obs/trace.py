@@ -1,0 +1,218 @@
+"""Contextvar-based request tracing with nested phase spans.
+
+A request handler opens a root trace (:func:`start_trace`); any code it
+calls — directly, or via the scheduler's pool threads when the caller
+copies its :mod:`contextvars` context — can annotate a phase with
+:func:`span` without plumbing a tracer argument through the stack:
+
+    with start_trace("/explain") as trace:
+        ...
+        with span("cube-build"):
+            ...
+
+Spans nest: a ``span`` opened inside another records the outer span as
+its parent, producing a tree rooted at span id 0 (the request itself).
+Phases whose duration was measured elsewhere (the scheduler's queue
+wait, which elapses *before* the pool thread runs) are attached
+post-hoc with :func:`record_span`.
+
+Sampling is decided at the root: an unsampled trace still carries a
+trace id (so every response can return ``X-Repro-Trace-Id``) but its
+spans are dropped at entry, making ``span()`` in deep layers nearly
+free.  Sampled traces are serialized by :class:`JsonLinesExporter` as
+one JSON object per line.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+#: (Trace, parent span id) for the code currently executing, or None.
+_CURRENT: contextvars.ContextVar[tuple["Trace", int] | None] = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+class Span:
+    """One timed phase inside a trace."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "duration")
+
+    def __init__(self, span_id: int, parent_id: int | None, name: str, start: float):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.duration: float | None = None
+
+
+class Trace:
+    """A request-scoped span tree; append-safe from pool threads."""
+
+    def __init__(self, name: str, sampled: bool = True):
+        self.trace_id = uuid.uuid4().hex[:16]
+        self.name = name
+        self.sampled = sampled
+        self.started_unix = time.time()
+        self._started_perf = time.perf_counter()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self.root = Span(0, None, name, 0.0)
+        self.spans: list[Span] = [self.root]
+
+    def begin_span(self, name: str, parent_id: int) -> Span:
+        now = time.perf_counter() - self._started_perf
+        with self._lock:
+            span = Span(self._next_id, parent_id, name, now)
+            self._next_id += 1
+            self.spans.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        span.duration = (time.perf_counter() - self._started_perf) - span.start
+
+    def attach_span(self, name: str, seconds: float, parent_id: int) -> Span:
+        """Attach a phase measured elsewhere, ending now."""
+        end = time.perf_counter() - self._started_perf
+        with self._lock:
+            span = Span(self._next_id, parent_id, name, max(0.0, end - seconds))
+            span.duration = seconds
+            self._next_id += 1
+            self.spans.append(span)
+        return span
+
+    def finish(self) -> None:
+        self.root.duration = time.perf_counter() - self._started_perf
+
+    @property
+    def duration_seconds(self) -> float:
+        if self.root.duration is None:
+            return time.perf_counter() - self._started_perf
+        return self.root.duration
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            spans = [
+                {
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "name": span.name,
+                    "start_ms": round(span.start * 1000.0, 3),
+                    "duration_ms": (
+                        round(span.duration * 1000.0, 3)
+                        if span.duration is not None
+                        else None
+                    ),
+                }
+                for span in self.spans
+            ]
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "time_unix": self.started_unix,
+            "pid": os.getpid(),
+            "duration_ms": round(self.duration_seconds * 1000.0, 3),
+            "spans": spans,
+        }
+
+
+@contextmanager
+def start_trace(name: str, sampled: bool = True) -> Iterator[Trace]:
+    """Open a root trace for the enclosed request."""
+    trace = Trace(name, sampled=sampled)
+    token = _CURRENT.set((trace, 0))
+    try:
+        yield trace
+    finally:
+        trace.finish()
+        _CURRENT.reset(token)
+
+
+@contextmanager
+def span(name: str) -> Iterator[Span | None]:
+    """Time a phase under the current trace; no-op without one.
+
+    Unsampled traces skip span bookkeeping entirely, so instrumented
+    deep layers cost two contextvar reads when tracing is off.
+    """
+    current = _CURRENT.get()
+    if current is None or not current[0].sampled:
+        yield None
+        return
+    trace, parent_id = current
+    entry = trace.begin_span(name, parent_id)
+    token = _CURRENT.set((trace, entry.span_id))
+    try:
+        yield entry
+    finally:
+        trace.end_span(entry)
+        _CURRENT.reset(token)
+
+
+def record_span(name: str, seconds: float) -> Span | None:
+    """Attach an already-measured phase to the current trace."""
+    current = _CURRENT.get()
+    if current is None or not current[0].sampled:
+        return None
+    trace, parent_id = current
+    return trace.attach_span(name, seconds, parent_id)
+
+
+def current_trace() -> Trace | None:
+    current = _CURRENT.get()
+    return current[0] if current is not None else None
+
+
+def current_trace_id() -> str | None:
+    trace = current_trace()
+    return trace.trace_id if trace is not None else None
+
+
+class JsonLinesExporter:
+    """Append sampled traces to a JSON-lines file (one object per line)."""
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path).expanduser()
+        self._lock = threading.Lock()
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def export(self, trace: Trace) -> bool:
+        if not trace.sampled:
+            return False
+        line = json.dumps(trace.to_dict(), separators=(",", ":"))
+        with self._lock:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self._path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        return True
+
+    @staticmethod
+    def read(path: str | Path) -> list[dict]:
+        """Every well-formed trace line in ``path`` (skips torn writes)."""
+        traces: list[dict] = []
+        try:
+            text = Path(path).expanduser().read_text(encoding="utf-8")
+        except OSError:
+            return traces
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(payload, dict) and "trace_id" in payload:
+                traces.append(payload)
+        return traces

@@ -17,8 +17,11 @@ actually runs:
   that dedupes identical in-flight queries and serves results from the
   session LRU.
 * :mod:`~repro.serve.http` — a stdlib ``http.server`` JSON API
-  (``/explain``, ``/diff``, ``/recommend``, ``/datasets``, ``/stats``)
-  wired to the registry and scheduler; ``repro serve`` starts it.
+  (``/explain``, ``/diff``, ``/recommend``, ``/detect``, ``/datasets``,
+  ``/stats``, ``/healthz``, ``/metrics``) wired to the registry and
+  scheduler; ``repro serve`` starts it.  Observability rides on
+  :mod:`repro.obs`: per-request trace ids, Prometheus metrics, a
+  structured access log and a ``--slow-query-ms`` slow-query log.
 * :class:`~repro.serve.multiproc.WorkerPool` — ``repro serve --workers N``:
   N forked ``SO_REUSEPORT`` workers sharing one mmap-able finalized-cube
   artifact per dataset, so resident memory is per-dataset, not per-worker.

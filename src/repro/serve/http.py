@@ -21,8 +21,14 @@ writes JSON.  Endpoints:
 ``GET /stats``
     Registry + scheduler counters, memory, uptime.
 ``GET /healthz``
-    Liveness probe.
+    Liveness probe with build info (version, pid, worker id, uptime).
+``GET /metrics``
+    Prometheus text exposition.  On a multi-process pool every worker
+    merges the other workers' persisted snapshots into its own live
+    registry, so one scrape sees the whole pool.
 
+Every response carries an ``X-Repro-Trace-Id`` header; sampled requests
+export their phase-span tree as JSON lines (:mod:`repro.obs.trace`).
 Errors map to JSON bodies: 400 for malformed or unservable queries
 (:class:`~repro.exceptions.ReproError`), 404 for unknown paths or
 unregistered datasets, 500 for anything unexpected.
@@ -31,15 +37,28 @@ unregistered datasets, 500 for anything unexpected.
 from __future__ import annotations
 
 import json
+import os
+import random
 import socket
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Sequence
 from urllib.parse import parse_qs, urlparse
 
+from repro import __version__
 from repro.datasets.registry import available_datasets
 from repro.exceptions import QueryError, ReproError
+from repro.obs.logging import AccessLog, SlowQueryLog
+from repro.obs.metrics import (
+    get_registry as get_metrics,
+    merge_snapshots,
+    render_snapshot,
+    SnapshotStore,
+)
+from repro.obs.trace import JsonLinesExporter, start_trace
 from repro.serve.jsonio import (
     detect_to_json,
     diff_to_json,
@@ -92,6 +111,23 @@ def _detect_param_table() -> dict[str, tuple[str, type]]:
 
 _DETECT_TABLE = _detect_param_table()
 
+#: Paths that get their own ``endpoint`` label on HTTP metrics; anything
+#: else is folded into ``"other"`` so probing random URLs cannot blow up
+#: the label cardinality of every scrape.
+_KNOWN_ENDPOINTS = frozenset(
+    (
+        "/explain",
+        "/diff",
+        "/recommend",
+        "/detect",
+        "/datasets",
+        "/stats",
+        "/healthz",
+        "/health",
+        "/metrics",
+    )
+)
+
 
 def _coerce(name: str, raw: str, kind: type):
     # A blank value (``?k=``) reaches here because the parser keeps blank
@@ -132,53 +168,115 @@ class _Handler(BaseHTTPRequestHandler):
                 parsed.query, keep_blank_values=True
             ).items()
         }
-        if not app.try_admit():
-            # Admission control: beyond max_inflight the server sheds
-            # load with an immediate 503 + Retry-After instead of
-            # queueing unboundedly behind the thread pool.
-            self._write_json(
-                {"error": "server is at capacity; retry shortly"},
-                503,
-                retry_after=app.retry_after_seconds,
-            )
-            return
-        try:
-            try:
-                payload, status = app.dispatch(parsed.path, params)
-            except ReproError as error:
-                payload, status = {"error": str(error)}, 400
-            except Exception as error:  # pragma: no cover - defensive 500
-                payload, status = {"error": f"internal error: {error}"}, 500
-            # Count before writing (a client that has read its response
-            # must observe the updated counter).
-            app.note_request()
-            self._write_json(payload, status)
-        finally:
-            # Released only after the body is fully written, so a drain
-            # that observes zero in-flight requests knows every admitted
-            # response is already on the wire.
-            app.release()
-        # Trip the max-requests breaker only after the body is written
-        # and released — shutting down mid-write would hand the last
-        # client a torn response.
-        app.maybe_trip()
+        # Captured here because dispatch pops it from its params dict.
+        dataset = params.get("dataset")
+        started = time.perf_counter()
+        with start_trace(parsed.path, sampled=app.sample_trace()) as trace:
+            if not app.try_admit():
+                # Admission control: beyond max_inflight the server sheds
+                # load with an immediate 503 + Retry-After instead of
+                # queueing unboundedly behind the thread pool.
+                status = 503
+                self._write_json(
+                    {"error": "server is at capacity; retry shortly"},
+                    503,
+                    retry_after=app.retry_after_seconds,
+                    trace_id=trace.trace_id,
+                )
+            else:
+                try:
+                    if parsed.path == "/metrics":
+                        try:
+                            body, status = app.render_metrics(), 200
+                        except Exception as error:  # pragma: no cover
+                            body = f"# metrics unavailable: {error}\n"
+                            status = 500
+                        app.note_request()
+                        self._write_text(body, status, trace_id=trace.trace_id)
+                    else:
+                        try:
+                            payload, status = app.dispatch(parsed.path, params)
+                        except ReproError as error:
+                            payload, status = {"error": str(error)}, 400
+                        except Exception as error:  # pragma: no cover - 500
+                            payload, status = {"error": f"internal error: {error}"}, 500
+                        # Count before writing (a client that has read its
+                        # response must observe the updated counter).
+                        app.note_request()
+                        self._write_json(payload, status, trace_id=trace.trace_id)
+                finally:
+                    # Released only after the body is fully written, so a
+                    # drain that observes zero in-flight requests knows
+                    # every admitted response is already on the wire.
+                    app.release()
+                # Trip the max-requests breaker only after the body is
+                # written and released — shutting down mid-write would
+                # hand the last client a torn response.
+                app.maybe_trip()
+        # Metrics / access log / slow-query log / trace export, after the
+        # trace root span is closed so exported phase durations always
+        # sum to within the recorded request latency.
+        app.observe_request(
+            method=self.command,
+            path=parsed.path,
+            dataset=dataset,
+            status=status,
+            seconds=time.perf_counter() - started,
+            trace=trace,
+        )
 
     def _write_json(
-        self, payload: dict, status: int, retry_after: int | None = None
+        self,
+        payload: dict,
+        status: int,
+        retry_after: int | None = None,
+        trace_id: str | None = None,
     ) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
+        self._write_body(body, status, "application/json", retry_after, trace_id)
+
+    def _write_text(
+        self, text: str, status: int, trace_id: str | None = None
+    ) -> None:
+        self._write_body(
+            text.encode("utf-8"),
+            status,
+            "text/plain; version=0.0.4; charset=utf-8",
+            None,
+            trace_id,
+        )
+
+    def _write_body(
+        self,
+        body: bytes,
+        status: int,
+        content_type: str,
+        retry_after: int | None,
+        trace_id: str | None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if retry_after is not None:
             self.send_header("Retry-After", str(retry_after))
+        if trace_id is not None:
+            self.send_header("X-Repro-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
+    def log_request(self, code="-", size="-") -> None:
+        # Per-request lines are emitted by observe_request through the
+        # structured access log, with full latency and the trace id —
+        # the stdlib line here would be a poorer duplicate.
+        pass
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        # Request logging is the app's choice, not stderr spam per hit.
+        # Stdlib plumbing messages (parse errors, broken pipes) go
+        # through the structured access logger when one is configured.
         app: "ServeApp" = self.server.app  # type: ignore[attr-defined]
-        if app.verbose:
+        if app.access_log is not None:
+            app.access_log.message(format % args)
+        elif app.verbose:
             super().log_message(format, *args)
 
 
@@ -232,6 +330,32 @@ class ServeApp:
         :func:`reuseport_available`.
     verbose:
         Log each request line to stderr (stdlib format).
+    access_log:
+        Emit one structured JSON line per request (method, path,
+        dataset, status, latency, trace id) to stderr.  Off by default
+        here so library/test construction stays quiet; :func:`make_app`
+        defaults it *on* for real serving.
+    slow_query_ms:
+        Threshold for the slow-query log; ``None`` disables it.  With an
+        ``obs_dir`` entries append to ``slowquery-<worker>.jsonl`` there,
+        otherwise they go to stderr.
+    trace_sample:
+        Fraction of requests whose span tree is recorded and exported
+        (``1.0`` = all).  Every request gets an ``X-Repro-Trace-Id``
+        regardless — sampling only controls span collection.
+    obs_dir:
+        Directory for observability artifacts: periodic metrics
+        snapshots (merged by every worker's ``/metrics``), the trace
+        export, and the slow-query log.  :func:`make_app` derives it
+        from ``cache_dir`` so a multi-process pool shares one.
+    worker_id:
+        Label for this process's snapshot/trace/slow-log files;
+        :class:`~repro.serve.multiproc.WorkerPool` assigns ``w0..wN``.
+        Defaults to ``pid<pid>``.
+    snapshot_interval_seconds:
+        How often the background flusher persists this worker's metrics
+        snapshot to ``obs_dir`` (a scrape also writes one, so the
+        interval only bounds staleness seen *via other workers*).
     """
 
     def __init__(
@@ -244,6 +368,12 @@ class ServeApp:
         max_inflight: int | None = None,
         reuse_port: bool = False,
         verbose: bool = False,
+        access_log: bool = False,
+        slow_query_ms: float | None = None,
+        trace_sample: float = 1.0,
+        obs_dir: str | Path | None = None,
+        worker_id: str | None = None,
+        snapshot_interval_seconds: float = 2.0,
     ):
         self.registry = registry
         self.scheduler = scheduler or QueryScheduler(registry)
@@ -259,6 +389,54 @@ class ServeApp:
         self._shutting_down = False
         self._shutdown_done = threading.Event()
         self._started = time.monotonic()
+        # ----- observability ------------------------------------------
+        self.worker_id = worker_id if worker_id is not None else f"pid{os.getpid()}"
+        self._trace_sample = max(0.0, min(1.0, float(trace_sample)))
+        self._obs_dir = Path(obs_dir).expanduser() if obs_dir is not None else None
+        self._snapshots = (
+            SnapshotStore(self._obs_dir) if self._obs_dir is not None else None
+        )
+        self._snapshot_interval = max(0.05, float(snapshot_interval_seconds))
+        self._flush_stop = threading.Event()
+        self._flusher: threading.Thread | None = None
+        self.access_log = AccessLog() if access_log else None
+        if slow_query_ms is not None:
+            slow_path = (
+                self._obs_dir / f"slowquery-{self.worker_id}.jsonl"
+                if self._obs_dir is not None
+                else None
+            )
+            self._slow_log = SlowQueryLog(
+                slow_query_ms,
+                path=slow_path,
+                stream=None if slow_path is not None else sys.stderr,
+            )
+        else:
+            self._slow_log = None
+        self._trace_exporter = (
+            JsonLinesExporter(self._obs_dir / f"traces-{self.worker_id}.jsonl")
+            if self._obs_dir is not None
+            else None
+        )
+        metrics = get_metrics()
+        self._metric_requests = metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests by endpoint and status",
+            labels=("endpoint", "status"),
+        )
+        self._metric_latency = metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP request latency by endpoint",
+            labels=("endpoint",),
+        )
+        self._metric_inflight = metrics.gauge(
+            "repro_http_inflight_requests", "Requests admitted and not yet written"
+        )
+        self._metric_rejected = metrics.counter(
+            "repro_http_requests_rejected_total",
+            "Requests shed with 503 by admission control",
+        )
+        # --------------------------------------------------------------
         server_class = _ReuseportHTTPServer if reuse_port else ThreadingHTTPServer
         self._server = server_class((host, port), _Handler)
         self._server.daemon_threads = True
@@ -288,10 +466,12 @@ class ServeApp:
     # ------------------------------------------------------------------
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown` (CLI mode)."""
+        self._start_flusher()
         self._server.serve_forever()
 
     def start(self) -> "ServeApp":
         """Serve on a daemon thread (tests, benchmarks); returns self."""
+        self._start_flusher()
         self._thread = threading.Thread(
             target=self._server.serve_forever, name="repro-serve", daemon=True
         )
@@ -321,6 +501,7 @@ class ServeApp:
             self.drain(grace)
             self._server.server_close()
             self.scheduler.shutdown(wait=False)
+            self._stop_flusher()
             if self._thread is not None:
                 # Leave _thread set: observers may still poll it for
                 # liveness after shutdown completes.
@@ -365,15 +546,18 @@ class ServeApp:
                 and self._inflight >= self._max_inflight
             ):
                 self._rejected += 1
+                self._metric_rejected.inc()
                 return False
             self._inflight += 1
-            return True
+        self._metric_inflight.inc()
+        return True
 
     def release(self) -> None:
         """Mark one admitted request complete (response fully written)."""
         with self._inflight_cond:
             self._inflight -= 1
             self._inflight_cond.notify_all()
+        self._metric_inflight.dec()
 
     def note_request(self) -> None:
         """Count one served request."""
@@ -395,12 +579,123 @@ class ServeApp:
             threading.Thread(target=self.shutdown, daemon=True).start()
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def sample_trace(self) -> bool:
+        """Whether this request's span tree should be collected."""
+        if self._trace_sample >= 1.0:
+            return True
+        if self._trace_sample <= 0.0:
+            return False
+        return random.random() < self._trace_sample
+
+    def observe_request(
+        self,
+        method: str,
+        path: str,
+        dataset: str | None,
+        status: int,
+        seconds: float,
+        trace,
+    ) -> None:
+        """Record one finished request: metrics, logs, trace export."""
+        endpoint = path if path in _KNOWN_ENDPOINTS else "other"
+        self._metric_requests.inc(endpoint=endpoint, status=str(status))
+        self._metric_latency.observe(seconds, endpoint=endpoint)
+        latency_ms = seconds * 1000.0
+        trace_id = trace.trace_id if trace is not None else None
+        if self.access_log is not None:
+            self.access_log.log(
+                method, path, status, latency_ms, dataset=dataset, trace_id=trace_id
+            )
+        if self._slow_log is not None:
+            self._slow_log.observe(
+                path, latency_ms, dataset=dataset, trace_id=trace_id, status=status
+            )
+        if self._trace_exporter is not None and trace is not None:
+            try:
+                self._trace_exporter.export(trace)
+            except OSError:  # pragma: no cover - disk-full etc.
+                pass
+
+    def render_metrics(self) -> str:
+        """This process's metrics, merged with sibling workers' snapshots.
+
+        Without an ``obs_dir`` there is nothing to merge and the live
+        registry renders directly.  With one, the scrape first persists
+        a fresh snapshot of *this* worker (so siblings scraped next see
+        it current), then merges every other live worker's latest file —
+        one scrape reflects the whole ``SO_REUSEPORT`` pool.
+        """
+        metrics = get_metrics()
+        if self._snapshots is None:
+            return metrics.render()
+        snapshot = metrics.snapshot(worker=self.worker_id)
+        try:
+            self._snapshots.write(snapshot, self.worker_id)
+        except OSError:  # pragma: no cover - scrape must still answer
+            pass
+        others = [
+            other
+            for other in self._snapshots.load_all()
+            if other.get("worker") != self.worker_id
+        ]
+        return render_snapshot(merge_snapshots([snapshot, *others]))
+
+    @property
+    def trace_export_path(self) -> Path | None:
+        return self._trace_exporter.path if self._trace_exporter is not None else None
+
+    @property
+    def slow_query_log(self) -> SlowQueryLog | None:
+        return self._slow_log
+
+    def _start_flusher(self) -> None:
+        if self._snapshots is None or self._flusher is not None:
+            return
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="repro-obs-flush", daemon=True
+        )
+        self._flusher.start()
+
+    def _flush_loop(self) -> None:
+        while not self._flush_stop.wait(self._snapshot_interval):
+            self._write_snapshot()
+
+    def _stop_flusher(self) -> None:
+        self._flush_stop.set()
+        if self._flusher is not None:
+            self._flusher.join(timeout=2.0)
+        # One final write so a drained worker's last counters survive
+        # for siblings to merge until its pid is observed dead.
+        self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        if self._snapshots is None:
+            return
+        try:
+            self._snapshots.write(
+                get_metrics().snapshot(worker=self.worker_id), self.worker_id
+            )
+        except OSError:  # pragma: no cover - disk-full etc.
+            pass
+
+    # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def dispatch(self, path: str, params: dict[str, str]) -> tuple[dict, int]:
         """Resolve one request to ``(json_payload, status)``."""
         if path in ("/healthz", "/health"):
-            return {"ok": True}, 200
+            return (
+                {
+                    "ok": True,
+                    "version": __version__,
+                    "pid": os.getpid(),
+                    "worker": self.worker_id,
+                    "uptime_seconds": round(time.monotonic() - self._started, 3),
+                },
+                200,
+            )
         if path == "/datasets":
             return {"datasets": self.registry.describe()}, 200
         if path == "/stats":
@@ -476,6 +771,11 @@ def make_app(
     artifacts: bool = False,
     reuse_port: bool = False,
     verbose: bool = False,
+    access_log: bool = True,
+    slow_query_ms: float | None = None,
+    trace_sample: float = 1.0,
+    obs_dir: str | None = None,
+    worker_id: str | None = None,
 ) -> ServeApp:
     """Assemble a ready-to-start :class:`ServeApp` from flat options.
 
@@ -493,6 +793,12 @@ def make_app(
     end (:mod:`repro.serve.multiproc`) relies on it so N workers share
     one resident copy per dataset; ``reuse_port`` binds the listening
     socket with ``SO_REUSEPORT`` for the same purpose.
+
+    Observability: ``access_log`` defaults *on* here (real serving wants
+    request lines; tests construct with ``access_log=False``), and
+    ``obs_dir`` defaults to ``<cache_dir>/obs`` when a cache dir is
+    given so multi-process workers merge their metrics snapshots, trace
+    exports and slow-query logs under one shared directory.
     """
     builder = None
     if build_shards is not None and build_shards > 1:
@@ -513,6 +819,8 @@ def make_app(
         artifacts=artifacts,
     )
     scheduler = QueryScheduler(registry, max_workers=query_workers)
+    if obs_dir is None and cache_dir is not None:
+        obs_dir = str(Path(cache_dir).expanduser() / "obs")
     return ServeApp(
         registry,
         scheduler,
@@ -522,4 +830,9 @@ def make_app(
         max_inflight=max_inflight,
         reuse_port=reuse_port,
         verbose=verbose,
+        access_log=access_log,
+        slow_query_ms=slow_query_ms,
+        trace_sample=trace_sample,
+        obs_dir=obs_dir,
+        worker_id=worker_id,
     )

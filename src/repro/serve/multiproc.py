@@ -185,10 +185,13 @@ class WorkerPool:
                 lattice=bool(worker_options.get("lattice", False)),
             )
         context = multiprocessing.get_context("fork")
+        # Each worker gets a stable id: its snapshot/trace/slow-log files
+        # under the shared obs dir stay distinct, and /healthz and
+        # /metrics scrapes can tell workers apart.
         self._procs = [
             context.Process(
                 target=_worker_main,
-                args=(dict(worker_options),),
+                args=({**worker_options, "worker_id": f"w{index}"},),
                 name=f"repro-serve-worker-{index}",
                 daemon=True,
             )

@@ -40,6 +40,8 @@ from repro.datasets.registry import available_datasets, load_dataset
 from repro.detect.session import DetectSession
 from repro.exceptions import QueryError
 from repro.lattice.router import LatticeRouter
+from repro.obs.metrics import BUILD_BUCKETS, get_registry as get_metrics
+from repro.obs.trace import span
 from repro.serve.sharding import ShardedBuilder
 from repro.store import resolve_source
 
@@ -244,6 +246,22 @@ class SessionRegistry:
         self._artifacts = bool(artifacts and cache_dir)
         self._clock = clock
         self._stats = RegistryStats()
+        metrics = get_metrics()
+        self._metric_lookups = metrics.counter(
+            "repro_registry_lookups_total",
+            "Session lookups by outcome (hit / miss / coalesced)",
+            labels=("outcome",),
+        )
+        self._metric_evictions = metrics.counter(
+            "repro_registry_evictions_total",
+            "Sessions dropped by the LRU (budget) or the TTL (expired)",
+            labels=("reason",),
+        )
+        self._metric_build_seconds = metrics.histogram(
+            "repro_registry_build_seconds",
+            "Cold session prepare latency",
+            buckets=BUILD_BUCKETS,
+        )
         # One lattice router per data fingerprint, shared by every spec
         # over the same data (created lazily by the first lattice spec).
         self._routers: dict[str, LatticeRouter] = {}
@@ -288,9 +306,11 @@ class SessionRegistry:
             entry = self._live_entry(name)
             if entry is not None:
                 self._stats.hits += 1
+                self._metric_lookups.inc(outcome="hit")
                 entry.queries += 1
                 return entry.session
             self._stats.misses += 1
+            self._metric_lookups.inc(outcome="miss")
             build_lock = self._build_locks.setdefault(name, threading.Lock())
         # Build outside the registry lock so other datasets stay servable;
         # the per-key lock is what coalesces concurrent cold requests.
@@ -304,9 +324,12 @@ class SessionRegistry:
                     # A racer built it while we waited on the key lock.
                     if waited:
                         self._stats.coalesced += 1
+                        self._metric_lookups.inc(outcome="coalesced")
                     entry.queries += 1
                     return entry.session
-            session, build_seconds = self._prepare(spec)
+            with span("prepare"):
+                session, build_seconds = self._prepare(spec)
+            self._metric_build_seconds.observe(build_seconds)
             with self._lock:
                 # register() may have replaced the spec while we built;
                 # serve this request from the stale session but never
@@ -381,6 +404,8 @@ class SessionRegistry:
                 del self._entries[name]
                 self._detectors.pop(name, None)
             self._stats.expirations += len(expired)
+            if expired:
+                self._metric_evictions.inc(len(expired), reason="expired")
             return len(expired)
 
     def memory_bytes(self) -> int:
@@ -494,6 +519,7 @@ class SessionRegistry:
         if self._ttl is not None and now - entry.last_used > self._ttl:
             del self._entries[name]
             self._stats.expirations += 1
+            self._metric_evictions.inc(reason="expired")
             return None
         entry.last_used = now
         self._entries.move_to_end(name)
@@ -593,7 +619,8 @@ class SessionRegistry:
         session unmaterialized and stays lazy.
         """
         assert self._cache is not None
-        cube = self._cache.load_artifact(key)
+        with span("artifact-load"):
+            cube = self._cache.load_artifact(key)
         if cube is None:
             return None
         session = ExplainSession(
@@ -746,3 +773,4 @@ class SessionRegistry:
             evicted, _ = self._entries.popitem(last=False)
             self._detectors.pop(evicted, None)
             self._stats.evictions += 1
+            self._metric_evictions.inc(reason="budget")

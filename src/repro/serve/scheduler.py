@@ -18,11 +18,15 @@ futures.
 
 from __future__ import annotations
 
+import contextvars
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.core.result import ExplainResult
 from repro.exceptions import QueryError
+from repro.obs.metrics import get_registry as get_metrics
+from repro.obs.trace import record_span
 from repro.serve.registry import SessionRegistry
 
 #: Run-tier ExplainConfig fields a query may override per request, with
@@ -97,6 +101,26 @@ class QueryScheduler:
         self._completed = 0
         self._errors = 0
         self._closed = False
+        # Queue pressure: how many submitted queries have not yet begun
+        # executing, and how long queries waited for a pool thread.
+        self._queue_depth = 0
+        self._wait_seconds = 0.0
+        self._wait_by_kind: dict[str, float] = {}
+        metrics = get_metrics()
+        self._metric_queue_depth = metrics.gauge(
+            "repro_scheduler_queue_depth",
+            "Queries submitted but not yet executing",
+        )
+        self._metric_wait = metrics.counter(
+            "repro_scheduler_wait_seconds_total",
+            "Cumulative seconds queries waited for a pool thread",
+            labels=("kind",),
+        )
+        self._metric_queries = metrics.counter(
+            "repro_scheduler_queries_total",
+            "Queries executed (coalesced callers excluded)",
+            labels=("kind",),
+        )
 
     @property
     def registry(self) -> SessionRegistry:
@@ -128,7 +152,20 @@ class QueryScheduler:
             if existing is not None:
                 self._coalesced += 1
                 return existing
-            future = self._pool.submit(self._run, kind, dataset, dict(params))
+            # Copying the submitter's contextvars carries its trace into
+            # the pool thread, so spans recorded deep inside the session
+            # layers attach to the originating request's span tree.
+            context = contextvars.copy_context()
+            future = self._pool.submit(
+                context.run,
+                self._run,
+                kind,
+                dataset,
+                dict(params),
+                time.perf_counter(),
+            )
+            self._queue_depth += 1
+            self._metric_queue_depth.inc()
             self._inflight[key] = future
             self._submitted += 1
             future.add_done_callback(lambda _f, key=key: self._forget(key))
@@ -147,6 +184,12 @@ class QueryScheduler:
                 "completed": self._completed,
                 "errors": self._errors,
                 "inflight": len(self._inflight),
+                "queue_depth": self._queue_depth,
+                "wait_seconds": round(self._wait_seconds, 6),
+                "wait_seconds_by_kind": {
+                    kind: round(seconds, 6)
+                    for kind, seconds in sorted(self._wait_by_kind.items())
+                },
             }
 
     def shutdown(self, wait: bool = True) -> None:
@@ -182,7 +225,18 @@ class QueryScheduler:
                 if future.exception() is not None:
                     self._errors += 1
 
-    def _run(self, kind: str, dataset: str, params: dict):
+    def _run(self, kind: str, dataset: str, params: dict, submitted_at: float):
+        wait = time.perf_counter() - submitted_at
+        with self._lock:
+            self._queue_depth -= 1
+            self._wait_seconds += wait
+            self._wait_by_kind[kind] = self._wait_by_kind.get(kind, 0.0) + wait
+        self._metric_queue_depth.dec()
+        self._metric_wait.inc(wait, kind=kind)
+        self._metric_queries.inc(kind=kind)
+        # The wait elapsed before this thread started, so it cannot be a
+        # live span; attach it to the request trace retroactively.
+        record_span("queue-wait", wait)
         if kind == "detect":
             detector = self._registry.detect_session(dataset)
             wants_plan = bool(params.pop("plan", False))

@@ -34,6 +34,7 @@ from repro.cube.cache import CubeKey, RollupCache, cube_key_for_fingerprint
 from repro.cube.datacube import ExplanationCube
 from repro.datasets.base import Dataset
 from repro.exceptions import BackfillError, QueryError
+from repro.obs.trace import span
 from repro.relation.aggregates import AggregateFunction
 from repro.relation.table import Relation
 from repro.store.base import DEFAULT_CHUNK_ROWS, DataSource
@@ -296,53 +297,55 @@ def load_or_build_from_source(
             return cached, IngestReport(cache_hit=True, out_of_core=False)
 
     started = time.perf_counter()
-    chunked = False
-    chunks = rows = peak = 0
-    cube: ExplanationCube | None = None
-    if out_of_core and getattr(source, "chunk_safe", True) is False:
-        # The source knows its row order violates the append contract
-        # (npz snapshots record it at convert time): skip the doomed
-        # chunked attempt instead of paying for it and then re-reading.
-        out_of_core = False
-    if out_of_core:
-        try:
-            cube, chunks, rows, peak = _build_out_of_core(
-                source,
+    with span("ingest"):
+        chunked = False
+        chunks = rows = peak = 0
+        cube: ExplanationCube | None = None
+        if out_of_core and getattr(source, "chunk_safe", True) is False:
+            # The source knows its row order violates the append contract
+            # (npz snapshots record it at convert time): skip the doomed
+            # chunked attempt instead of paying for it and then re-reading.
+            out_of_core = False
+        if out_of_core:
+            try:
+                cube, chunks, rows, peak = _build_out_of_core(
+                    source,
+                    explain_by,
+                    measure,
+                    aggregate,
+                    time_attr,
+                    max_order,
+                    deduplicate,
+                    columnar,
+                    chunk_rows,
+                )
+                chunked = True
+            except BackfillError:
+                # An unordered source: a new label back-filled across a
+                # chunk boundary.  Degrade to the one-shot build below —
+                # same results, unbounded residency.  Only this specific
+                # error means "chunk order unsafe"; a misconfiguration
+                # (bad aggregate, invalid binding) propagates instead of
+                # paying a pointless full re-ingest to hit the same
+                # error again.
+                cube = None
+        relation: Relation | None = None
+        if cube is None:
+            relation = source.read()
+            if relation.n_rows == 0:
+                raise QueryError(f"source {source.uri} yielded no rows")
+            chunks, rows, peak = 1, relation.n_rows, relation.n_rows
+            cube = ExplanationCube(
+                relation,
                 explain_by,
                 measure,
-                aggregate,
-                time_attr,
-                max_order,
-                deduplicate,
-                columnar,
-                chunk_rows,
+                aggregate=aggregate,
+                time_attr=time_attr,
+                max_order=max_order,
+                deduplicate=deduplicate,
+                columnar=columnar,
+                appendable=True,
             )
-            chunked = True
-        except BackfillError:
-            # An unordered source: a new label back-filled across a chunk
-            # boundary.  Degrade to the one-shot build below — same
-            # results, unbounded residency.  Only this specific error
-            # means "chunk order unsafe"; a misconfiguration (bad
-            # aggregate, invalid binding) propagates instead of paying a
-            # pointless full re-ingest to hit the same error again.
-            cube = None
-    relation: Relation | None = None
-    if cube is None:
-        relation = source.read()
-        if relation.n_rows == 0:
-            raise QueryError(f"source {source.uri} yielded no rows")
-        chunks, rows, peak = 1, relation.n_rows, relation.n_rows
-        cube = ExplanationCube(
-            relation,
-            explain_by,
-            measure,
-            aggregate=aggregate,
-            time_attr=time_attr,
-            max_order=max_order,
-            deduplicate=deduplicate,
-            columnar=columnar,
-            appendable=True,
-        )
     if cache is not None and key is not None:
         try:
             cache.store(key, cube)

@@ -547,7 +547,9 @@ class TestRegistryLattice:
             default_lattice(("a", "b"), "m", max_order=ExplainConfig.optimized().max_order),
             cache=cache,
         )
-        app = make_app(datasets=[], port=0, cache_dir=str(tmp_path), lattice=True)
+        app = make_app(
+            datasets=[], port=0, cache_dir=str(tmp_path), lattice=True, access_log=False
+        )
         app.registry.register(
             DatasetSpec.from_dataset(lattice_dataset(relation), lattice=True)
         )
@@ -557,10 +559,23 @@ class TestRegistryLattice:
                 assert json.loads(response.read())["k"] >= 1
             with urllib.request.urlopen(f"{app.url}/stats") as response:
                 stats = json.loads(response.read())
+            with urllib.request.urlopen(f"{app.url}/metrics") as response:
+                exposition = response.read().decode("utf-8")
         finally:
             app.shutdown()
         lattice = stats["registry"]["lattice"]
         assert lattice["exact_hits"] + lattice["derived_hits"] >= 1
+        # The routing decision also lands on the Prometheus surface.
+        from repro.obs.metrics import parse_exposition
+
+        samples = parse_exposition(exposition)
+        routed = sum(
+            value
+            for (name, labels), value in samples.items()
+            if name == "repro_lattice_routes_total"
+            and dict(labels)["decision"] in ("exact", "derived")
+        )
+        assert routed >= 1
 
 
 # ----------------------------------------------------------------------

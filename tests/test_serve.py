@@ -425,7 +425,16 @@ def app():
 
 class TestHttpApi:
     def test_healthz(self, app):
-        assert _get_json(f"{app.url}/healthz") == {"ok": True}
+        payload = _get_json(f"{app.url}/healthz")
+        assert payload["ok"] is True
+        # Build info rides along so multi-worker smokes can tell workers
+        # apart: version, pid, worker id, uptime.
+        from repro import __version__
+
+        assert payload["version"] == __version__
+        assert payload["pid"] > 0
+        assert isinstance(payload["worker"], str) and payload["worker"]
+        assert payload["uptime_seconds"] >= 0.0
 
     def test_datasets_endpoint(self, app):
         payload = _get_json(f"{app.url}/datasets")
@@ -551,6 +560,7 @@ class TestHttpApi:
             query_workers=2,
             build_shards=2,
             build_workers=1,
+            access_log=False,
         ).start()
         try:
             names = _get_json(f"{app.url}/datasets")["datasets"]
@@ -832,7 +842,7 @@ def test_admission_control_sheds_excess_with_503():
                 time.sleep(0.01)
 
         wait_idle()
-        assert _get_json(f"{app.url}/healthz") == {"ok": True}
+        assert _get_json(f"{app.url}/healthz")["ok"] is True
         wait_idle()
         stats = _get_json(f"{app.url}/stats")
         assert stats["rejected"] >= 1
@@ -860,7 +870,7 @@ def test_worker_pool_serves_identically_and_survives_worker_loss(tmp_path):
 
     cache_dir = str(tmp_path / "cache")
     pool = WorkerPool(
-        {"datasets": ["covid-total"], "cache_dir": cache_dir, "port": 0},
+        {"datasets": ["covid-total"], "cache_dir": cache_dir, "port": 0, "access_log": False},
         workers=2,
     ).start()
     try:
@@ -868,7 +878,8 @@ def test_worker_pool_serves_identically_and_survives_worker_loss(tmp_path):
         served = _no_timings(_get_json(url))
 
         single = make_app(
-            datasets=["covid-total"], cache_dir=cache_dir, artifacts=True, port=0
+            datasets=["covid-total"], cache_dir=cache_dir, artifacts=True, port=0,
+            access_log=False,
         ).start()
         try:
             reference = _no_timings(_get_json(f"{single.url}/explain?dataset=covid-total"))
