@@ -17,7 +17,6 @@ The detect subsystem's claims, recorded in ``benchmarks/BENCH_detect.json``:
    incremental path surfaces it at ``critical`` severity.
 """
 
-import json
 import time
 from datetime import date, timedelta
 from pathlib import Path
@@ -30,7 +29,7 @@ from repro.detect.scoring import DetectConfig, score_columns
 from repro.detect.session import DetectSession
 from repro.relation.schema import Schema
 from repro.relation.table import Relation
-from support import emit, is_paper_scale, scale
+from support import append_run, emit, git_rev, is_paper_scale, scale
 
 BENCH_JSON = Path(__file__).parent / "BENCH_detect.json"
 
@@ -163,7 +162,9 @@ def bench_detect(benchmark):
     benchmark.extra_info["append_speedup"] = round(speedup, 1)
 
     record = {
+        "bench": "detect",
         "scale": scale(),
+        "git_rev": git_rev(),
         "rows": relation.n_rows,
         "days": n_days,
         "candidates": detector.session.cube.n_explanations,
@@ -184,7 +185,7 @@ def bench_detect(benchmark):
             "worst_z": round(max(abs(c.z) for c in spiked), 2),
         },
     }
-    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    append_run(BENCH_JSON, record)
 
     lines = [
         f"rows={relation.n_rows} days={n_days} "

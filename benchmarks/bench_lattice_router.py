@@ -14,7 +14,6 @@ Two claims, recorded in ``benchmarks/BENCH_lattice.json``:
    the fingerprint + disk round trip).
 """
 
-import json
 import statistics
 import time
 from pathlib import Path
@@ -28,7 +27,7 @@ from repro.cube.datacube import ExplanationCube
 from repro.lattice import LatticeRouter, RollupSpec, build_lattice, rollup_key
 from repro.relation.schema import Schema
 from repro.relation.table import Relation
-from support import emit, is_paper_scale, scale
+from support import append_run, emit, git_rev, is_paper_scale, scale
 
 BENCH_JSON = Path(__file__).parent / "BENCH_lattice.json"
 
@@ -168,7 +167,9 @@ def bench_lattice_router(benchmark, tmp_path):
     benchmark.extra_info["routed_p50_ms"] = round(routed_p50, 3)
 
     record = {
+        "bench": "lattice_router",
         "scale": scale(),
+        "git_rev": git_rev(),
         "rows": relation.n_rows,
         "rollups": len(specs),
         "scan_roots": len(report.built),
@@ -185,7 +186,7 @@ def bench_lattice_router(benchmark, tmp_path):
             "p50_ratio_vs_exact_hit": round(routed_p50 / exact_p50, 3),
         },
     }
-    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    append_run(BENCH_JSON, record)
 
     emit(
         "bench_lattice_router",

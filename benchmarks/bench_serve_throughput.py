@@ -48,7 +48,7 @@ from repro.serve.http import ServeApp, reuseport_available
 from repro.serve.registry import DatasetSpec, SessionRegistry
 from repro.serve.scheduler import QueryScheduler
 from repro.serve.sharding import ShardedBuilder
-from support import append_run, emit, is_paper_scale, scale
+from support import append_run, emit, git_rev, is_paper_scale, scale
 
 BENCH_JSON = Path(__file__).parent / "BENCH_serve.json"
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -58,20 +58,6 @@ def _get_json(url: str):
     with urllib.request.urlopen(url) as response:
         return json.loads(response.read().decode("utf-8"))
 
-
-def _git_rev() -> str | None:
-    """Short git revision for trajectory records (None outside a checkout)."""
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=REPO_ROOT,
-            capture_output=True,
-            text=True,
-            timeout=10,
-            check=True,
-        ).stdout.strip()
-    except (OSError, subprocess.SubprocessError):
-        return None
 
 
 def _rss_mb(pid: int) -> float | None:
@@ -214,7 +200,7 @@ def bench_serve_throughput(benchmark):
     record = {
         "bench": "serve_throughput",
         "scale": scale(),
-        "git_rev": _git_rev(),
+        "git_rev": git_rev(),
         "rows": dataset.relation.n_rows,
         "cores": cores,
         "clients": n_clients,
@@ -403,7 +389,7 @@ def bench_serve_worker_sweep(benchmark):
         {
             "bench": "serve_worker_sweep",
             "scale": scale(),
-            "git_rev": _git_rev(),
+            "git_rev": git_rev(),
             "rows": synthetic.dataset.relation.n_rows,
             "cores": cores,
             "clients": n_clients,

@@ -18,14 +18,13 @@ growing synthetic stream:
    under the rebuild, whose cost tracks the total length.
 """
 
-import json
 import time
 from pathlib import Path
 
 from repro.core.config import ExplainConfig
 from repro.core.streaming import StreamingExplainer
 from repro.datasets.synthetic import generate_synthetic
-from support import emit, is_paper_scale, scale
+from support import append_run, emit, git_rev, is_paper_scale, scale
 
 BENCH_JSON = Path(__file__).parent / "BENCH_streaming.json"
 
@@ -141,7 +140,9 @@ def bench_streaming_append(benchmark):
     benchmark.extra_info["streaming_speedup"] = round(speedup, 1)
 
     record = {
+        "bench": "streaming_append",
         "scale": scale(),
+        "git_rev": git_rev(),
         "rows": explainer.relation.n_rows,
         "n_points": len(incremental.series),
         "categories": n_categories,
@@ -151,6 +152,6 @@ def bench_streaming_append(benchmark):
         "speedup": round(speedup, 1),
         "byte_identical_top_k": True,
     }
-    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    append_run(BENCH_JSON, record)
 
     assert speedup >= 10.0

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 from pathlib import Path
 
 from repro.core.config import ExplainConfig
@@ -24,6 +25,27 @@ from repro.datasets.base import Dataset
 from repro.datasets.registry import load_dataset
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def git_rev() -> str | None:
+    """Short git revision for trajectory records (None outside a checkout).
+
+    Every ``BENCH_*.json`` record carries this so ``repro bench check``
+    failures point at the commit that appended the regressing record.
+    """
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
 
 #: The five optimization configurations of Figure 15.
 CONFIGURATIONS: tuple[tuple[str, ExplainConfig], ...] = (

@@ -15,7 +15,7 @@ from repro.exceptions import ReproError
 from repro.relation.table import Relation
 from repro.relation.timeseries import TimeSeries
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ExplainConfig",

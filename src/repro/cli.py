@@ -52,7 +52,22 @@ Commands
     (:mod:`repro.serve`): many datasets behind a memory-budget + TTL
     session LRU, single-flight cold builds (optionally sharded across
     worker processes), and a query thread pool that dedupes identical
-    in-flight requests.
+    in-flight requests.  ``--profile-hz`` runs a continuous sampling
+    profiler feeding per-phase self-time into ``/metrics``;
+    ``--profile-slow`` auto-captures a profile for every request that
+    crosses ``--slow-query-ms``.
+``obs``
+    Aggregate the serve tier's exported observability files
+    (``<cache-dir>/obs``): ``top`` ranks profile hotspots and per-phase
+    self-time, ``flame`` merges captured profiles into one collapsed-
+    stack file (flamegraph.pl-compatible), ``traces`` summarizes
+    exported span trees per endpoint and lists the slowest requests
+    with their phase breakdown.
+``bench``
+    The perf-regression gate: ``bench check`` compares the newest
+    record of every ``benchmarks/BENCH_*.json`` trajectory against the
+    rolling median of its prior runs and exits non-zero naming each
+    metric outside tolerance (:mod:`repro.obs.bench`).
 
 Examples
 --------
@@ -91,6 +106,13 @@ Examples
         --write-csv corrected.csv --explain
     python -m repro detect follow --csv live.csv --time day \\
         --dimensions region --measure revenue --poll-interval 2
+    python -m repro serve --cache-dir ./cube-cache --slow-query-ms 250 \\
+        --profile-slow --profile-hz 19
+    curl 'http://127.0.0.1:8765/debug/profile?seconds=2' > profile.collapsed
+    python -m repro obs top --obs-dir ./cube-cache/obs
+    python -m repro obs flame --obs-dir ./cube-cache/obs --out flame.collapsed
+    python -m repro obs traces --obs-dir ./cube-cache/obs --n 5
+    python -m repro bench check --results-dir benchmarks
 """
 
 from __future__ import annotations
@@ -1018,6 +1040,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         access_log=args.access_log,
         slow_query_ms=args.slow_query_ms,
         trace_sample=args.trace_sample,
+        profile_hz=args.profile_hz,
+        profile_slow=args.profile_slow,
     )
     workers = args.workers
     if workers > 1:
@@ -1051,7 +1075,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"repro serve listening on {pool.url}", flush=True)
         print(
             f"endpoints: {pool.url}/explain?dataset=NAME  /diff  /recommend  "
-            "/detect  /datasets  /stats  /healthz  /metrics",
+            "/detect  /datasets  /stats  /healthz  /metrics  /debug/profile",
             flush=True,
         )
         print(f"workers: {len(pool.pids)} (pids {', '.join(map(str, pool.pids))})", flush=True)
@@ -1069,7 +1093,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(f"repro serve listening on {app.url}", flush=True)
     print(
         f"endpoints: {app.url}/explain?dataset=NAME  /diff  /recommend  "
-        "/detect  /datasets  /stats  /healthz  /metrics",
+        "/detect  /datasets  /stats  /healthz  /metrics  /debug/profile",
         flush=True,
     )
     try:
@@ -1079,6 +1103,185 @@ def _command_serve(args: argparse.Namespace) -> int:
     finally:
         app.shutdown()
     print(f"served {app.requests_served} request(s)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# obs: aggregate exported profiles and span trees
+# ----------------------------------------------------------------------
+def _obs_profile_files(args: argparse.Namespace) -> list:
+    """Profile inputs: explicit paths plus every capture in --obs-dir.
+
+    Recognizes both storage formats: ``slowprof-*.jsonl`` (and their
+    rotated ``.1`` predecessors) written by ``--profile-slow``, and
+    collapsed-stack text files saved from ``/debug/profile``.
+    """
+    from pathlib import Path
+
+    paths = [Path(p) for p in args.paths]
+    if args.obs_dir:
+        base = Path(args.obs_dir).expanduser()
+        paths.extend(sorted(base.glob("slowprof-*.jsonl")))
+        paths.extend(sorted(base.glob("slowprof-*.jsonl.1")))
+    return paths
+
+
+def _obs_load_reports(paths) -> list:
+    from repro.obs.profile import ProfileReport, SlowProfileWriter, parse_collapsed
+
+    reports = []
+    for path in paths:
+        if ".jsonl" in path.name:
+            for entry in SlowProfileWriter.read(path):
+                reports.append(ProfileReport.from_json(entry))
+        else:
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError as error:
+                raise ReproError(f"cannot read profile {path}: {error}") from None
+            reports.append(parse_collapsed(text))
+    return [report for report in reports if report.samples]
+
+
+def _obs_trace_files(args: argparse.Namespace) -> list:
+    from pathlib import Path
+
+    paths = [Path(p) for p in args.paths]
+    if args.obs_dir:
+        base = Path(args.obs_dir).expanduser()
+        paths.extend(sorted(base.glob("traces-*.jsonl")))
+        paths.extend(sorted(base.glob("traces-*.jsonl.1")))
+    return paths
+
+
+def _percentile(values: list, fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _obs_traces(args: argparse.Namespace) -> int:
+    """``obs traces``: per-endpoint latency summary + slowest span trees."""
+    from repro.obs.trace import JsonLinesExporter
+
+    traces: list[dict] = []
+    for path in _obs_trace_files(args):
+        traces.extend(JsonLinesExporter.read(path))
+    if not traces:
+        print("no exported traces found (need --obs-dir or trace files)", file=sys.stderr)
+        return 1
+    by_name: dict[str, list[float]] = {}
+    for trace in traces:
+        by_name.setdefault(trace.get("name", "?"), []).append(
+            float(trace.get("duration_ms") or 0.0)
+        )
+    print(f"{'endpoint':<20s} {'count':>6s} {'p50_ms':>9s} {'p95_ms':>9s} {'max_ms':>9s}")
+    for name, latencies in sorted(by_name.items(), key=lambda kv: -len(kv[1])):
+        print(
+            f"{name:<20s} {len(latencies):>6d} "
+            f"{_percentile(latencies, 0.50):>9.1f} "
+            f"{_percentile(latencies, 0.95):>9.1f} "
+            f"{max(latencies):>9.1f}"
+        )
+    slowest = sorted(
+        traces, key=lambda t: -(float(t.get("duration_ms") or 0.0))
+    )[: args.n]
+    print(f"\nslowest {len(slowest)} request(s):")
+    for trace in slowest:
+        phases: dict[str, float] = {}
+        for span_row in trace.get("spans", ()):
+            if span_row.get("parent") is None:  # the root is the request
+                continue
+            duration = span_row.get("duration_ms")
+            if duration is not None:
+                name = span_row.get("name", "?")
+                phases[name] = phases.get(name, 0.0) + float(duration)
+        breakdown = ", ".join(
+            f"{name} {duration:.1f}ms"
+            for name, duration in sorted(phases.items(), key=lambda kv: -kv[1])[:4]
+        )
+        print(
+            f"  {trace.get('trace_id', '?'):<18s} {trace.get('name', '?'):<14s} "
+            f"{float(trace.get('duration_ms') or 0.0):>8.1f}ms  {breakdown}"
+        )
+    return 0
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    # Imported lazily like the serve tier: plain explain runs never pay it.
+    if args.action == "traces":
+        return _obs_traces(args)
+    from pathlib import Path
+
+    from repro.obs.profile import ProfileReport
+
+    reports = _obs_load_reports(_obs_profile_files(args))
+    if not reports:
+        print(
+            "no profile samples found (need --obs-dir with slowprof files, "
+            "or saved /debug/profile captures)",
+            file=sys.stderr,
+        )
+        return 1
+    merged = ProfileReport.merge(reports)
+    if args.action == "flame":
+        text = merged.collapsed()
+        if args.out:
+            Path(args.out).write_text(text, encoding="utf-8")
+            print(
+                f"wrote {len(merged.stacks)} collapsed stack(s) "
+                f"({merged.samples} samples from {len(reports)} capture(s)) "
+                f"to {args.out}"
+            )
+        else:
+            print(text, end="")
+        return 0
+    # action == "top": phase self-time, then leaf-frame hotspots.
+    print(
+        f"{merged.samples} samples over {merged.duration_seconds:.1f}s "
+        f"({len(reports)} capture(s))"
+    )
+    print(f"\n{'phase':<24s} {'samples':>8s} {'self_s':>8s}")
+    for phase, seconds in merged.phase_self_seconds().items():
+        print(f"{phase:<24s} {merged.phase_samples[phase]:>8d} {seconds:>8.2f}")
+    print(f"\n{'hotspot (leaf frame)':<56s} {'samples':>8s} {'self_s':>8s}")
+    for frame, samples, seconds in merged.top(args.n):
+        print(f"{frame:<56s} {samples:>8d} {seconds:>8.2f}")
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    """``bench check``: gate the newest bench records against history."""
+    from pathlib import Path
+
+    from repro.obs import bench as bench_gate
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        results_dir = args.results_dir or "benchmarks"
+        paths = bench_gate.discover_bench_files(results_dir)
+        if not paths:
+            print(f"no BENCH_*.json files under {results_dir}", file=sys.stderr)
+            return 2
+    checks = bench_gate.check_files(
+        paths,
+        tolerance=args.tolerance,
+        window=args.window,
+        min_history=args.min_history,
+        min_latency_ms=args.min_latency_ms,
+    )
+    failed = False
+    for check in checks:
+        print(check.summary())
+        for regression in check.regressions:
+            failed = True
+            print(f"  REGRESSION {regression.message()}")
+    if failed:
+        print("bench check FAILED: newest record regressed vs its trajectory",
+              file=sys.stderr)
+        return 1
+    print(f"bench check OK ({len(checks)} trajectory file(s))")
     return 0
 
 
@@ -1435,7 +1638,101 @@ def build_parser() -> argparse.ArgumentParser:
         "exported (default 1.0; every response still carries an "
         "X-Repro-Trace-Id header)",
     )
+    serve.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        help="run a continuous sampling profiler at this rate, feeding "
+        "per-phase self-time into the repro_profile_phase_self_seconds_total "
+        "metric (default off; ~19 Hz is a good always-on rate)",
+    )
+    serve.add_argument(
+        "--profile-slow",
+        action="store_true",
+        help="auto-capture a short sampling profile whenever a request "
+        "crosses --slow-query-ms, appended to slowprof-<worker>.jsonl "
+        "next to the slow-query log keyed by trace id (needs "
+        "--slow-query-ms and a cache/obs dir)",
+    )
     serve.set_defaults(handler=_command_serve, access_log=True)
+
+    obs = commands.add_parser(
+        "obs", help="aggregate exported profiles and trace span trees"
+    )
+    obs.add_argument(
+        "action",
+        choices=("top", "flame", "traces"),
+        help="top: phase self-time + hotspot table from captured profiles; "
+        "flame: merge captures into one collapsed-stack file "
+        "(flamegraph.pl-compatible); traces: per-endpoint latency summary "
+        "and the slowest requests' phase breakdown",
+    )
+    obs.add_argument(
+        "paths",
+        nargs="*",
+        help="explicit input files: slowprof-*.jsonl captures, saved "
+        "/debug/profile collapsed text (top/flame), or traces-*.jsonl "
+        "exports (traces)",
+    )
+    obs.add_argument(
+        "--obs-dir",
+        help="observability directory to scan (<cache-dir>/obs of a serve "
+        "run); adds its slowprof/traces files to any explicit paths",
+    )
+    obs.add_argument(
+        "--n", type=int, default=20, help="rows to print (default 20)"
+    )
+    obs.add_argument(
+        "--out", help="obs flame: write the merged collapsed stacks here"
+    )
+    obs.set_defaults(handler=_command_obs)
+
+    bench = commands.add_parser(
+        "bench", help="benchmark-trajectory tooling (perf-regression gate)"
+    )
+    bench.add_argument(
+        "action",
+        choices=("check",),
+        help="check: compare each BENCH_*.json file's newest record against "
+        "the rolling median of its prior runs; non-zero exit on regression",
+    )
+    bench.add_argument(
+        "paths", nargs="*", help="explicit BENCH_*.json files to gate"
+    )
+    bench.add_argument(
+        "--results-dir",
+        help="directory holding BENCH_*.json trajectories (default benchmarks/)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="fail when a metric is more than this many times worse than "
+        "its rolling median (default 3.0 — generous, because records come "
+        "from different machines)",
+    )
+    bench.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="prior records per (bench, scale) group in the rolling median "
+        "(default 5)",
+    )
+    bench.add_argument(
+        "--min-history",
+        type=int,
+        default=1,
+        help="prior records required before gating (default 1; fewer passes "
+        "with a note)",
+    )
+    bench.add_argument(
+        "--min-latency-ms",
+        type=float,
+        default=1.0,
+        help="skip latency metrics whose baseline is below this (sub-ms "
+        "numbers are timer jitter; default 1.0)",
+    )
+    bench.set_defaults(handler=_command_bench)
     return parser
 
 

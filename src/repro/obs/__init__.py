@@ -1,16 +1,31 @@
-"""repro.obs — metrics, tracing, and structured logs (stdlib-only).
+"""repro.obs — metrics, tracing, logs, profiling, and the bench gate
+(stdlib-only).
 
-Three cooperating surfaces:
+Five cooperating surfaces:
 
 * :mod:`repro.obs.metrics` — thread-safe labeled counters/gauges/
   histograms, Prometheus text exposition, and per-worker snapshot
   persistence so multi-process serving merges into one scrape;
 * :mod:`repro.obs.trace` — contextvar-propagated per-request trace ids
-  and nested phase spans, exported as JSON lines;
+  and nested phase spans, exported as size-rotated JSON lines, plus the
+  process-wide active-span map the profiler joins against;
 * :mod:`repro.obs.logging` — JSON log formatter plus the serve access
-  log and the ``--slow-query-ms`` slow-query log.
+  log and the ``--slow-query-ms`` slow-query log;
+* :mod:`repro.obs.profile` — sampling wall-clock profiler attributing
+  collapsed stacks to trace phases (``/debug/profile``, slow-query
+  auto-capture, continuous ``/metrics`` feed);
+* :mod:`repro.obs.bench` — the BENCH_*.json trajectory schema and the
+  ``repro bench check`` perf-regression gate.
 """
 
+from repro.obs.bench import (
+    check_files,
+    check_trajectory,
+    discover_bench_files,
+    flatten,
+    load_trajectory,
+    metric_direction,
+)
 from repro.obs.logging import AccessLog, JsonFormatter, SlowQueryLog
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -22,9 +37,17 @@ from repro.obs.metrics import (
     render_snapshot,
     set_registry,
 )
+from repro.obs.profile import (
+    ProfileReport,
+    SamplingProfiler,
+    SlowProfileWriter,
+    capture,
+    parse_collapsed,
+)
 from repro.obs.trace import (
     JsonLinesExporter,
     Trace,
+    active_phases,
     current_trace,
     current_trace_id,
     record_span,
@@ -38,13 +61,25 @@ __all__ = [
     "JsonFormatter",
     "JsonLinesExporter",
     "MetricsRegistry",
+    "ProfileReport",
+    "SamplingProfiler",
+    "SlowProfileWriter",
     "SlowQueryLog",
     "SnapshotStore",
     "Trace",
+    "active_phases",
+    "capture",
+    "check_files",
+    "check_trajectory",
     "current_trace",
     "current_trace_id",
+    "discover_bench_files",
+    "flatten",
     "get_registry",
+    "load_trajectory",
     "merge_snapshots",
+    "metric_direction",
+    "parse_collapsed",
     "parse_exposition",
     "record_span",
     "render_snapshot",

@@ -1,0 +1,277 @@
+"""BENCH trajectory schema and the perf-regression gate.
+
+Every ``benchmarks/BENCH_*.json`` file is an **append-mode trajectory**:
+a JSON list of run records, newest last, each carrying ``bench`` (the
+driver's name), ``scale``, and ``git_rev`` alongside its numbers
+(``benchmarks/support.append_run`` appends and migrates legacy
+single-dict files in place).  Nothing used to read those trajectories
+back — a perf regression shipped silently.  This module closes the
+loop:
+
+* :func:`flatten` turns one record into ``{dotted.metric: value}``
+  leaves (``warm.routed_p95_ms``, ``sweep.0.throughput_rps``);
+* :func:`metric_direction` classifies each leaf by name — latency-like
+  (``*_ms``, ``*_seconds``, ``p50/p95/p99``) is lower-better,
+  throughput-like (``*speedup*``, ``*_per_second``, ``*_rps``) is
+  higher-better, anything else (row counts, byte sizes) is ignored;
+* :func:`check_trajectory` compares the newest record's directional
+  metrics against the **rolling median** of up to ``window`` prior
+  records of the same ``(bench, scale)`` group and reports a
+  :class:`Regression` for every metric outside tolerance.
+
+``repro bench check`` runs this over the checked-in trajectories and
+exits non-zero naming each offending metric; CI runs it right after the
+bench smokes so the freshly appended record is gated against history.
+
+The default tolerance is deliberately generous (``3.0``×): bench
+records come from whatever machine ran the PR, and cross-machine noise
+on millisecond latencies is huge.  The gate is a tripwire for
+order-of-magnitude mistakes — an accidentally quadratic loop, a lost
+cache — not a microbenchmark referee.  Metrics whose baseline sits
+below a floor (default 1 ms) are skipped entirely: at that scale the
+measurement is scheduler jitter, not signal.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from pathlib import Path
+
+from repro.exceptions import QueryError
+
+#: Default regression tolerance: newest may be up to this multiple worse
+#: than the rolling median before the gate trips.
+DEFAULT_TOLERANCE = 3.0
+
+#: How many prior records (per bench/scale group) the rolling median sees.
+DEFAULT_WINDOW = 5
+
+#: Minimum prior records required before the gate compares at all.
+DEFAULT_MIN_HISTORY = 1
+
+#: Latency metrics with a baseline below this many milliseconds are
+#: skipped: sub-millisecond numbers are timer jitter, not trajectory.
+DEFAULT_MIN_LATENCY_MS = 1.0
+
+#: Record keys that are identity/metadata, never metrics.
+META_KEYS = frozenset(("bench", "scale", "git_rev", "ts", "time_unix", "label"))
+
+_LOWER_SUFFIXES = ("_ms", "_seconds", "_sec", "_ns", "_us")
+_HIGHER_SUFFIXES = ("_per_second", "_per_sec", "_rps", "_qps", "_hz")
+
+
+def metric_direction(name: str) -> str | None:
+    """``"lower"`` / ``"higher"`` / ``None`` for one flattened metric name.
+
+    Classification is by the *leaf* segment of the dotted name, so
+    ``warm.routed_p95_ms`` is judged as ``routed_p95_ms``.
+    """
+    leaf = name.rsplit(".", 1)[-1].lower()
+    if "speedup" in leaf:
+        return "higher"
+    for suffix in _HIGHER_SUFFIXES:
+        if leaf.endswith(suffix) or leaf == suffix.lstrip("_"):
+            return "higher"
+    for suffix in _LOWER_SUFFIXES:
+        if leaf.endswith(suffix):
+            return "lower"
+    return None
+
+
+def flatten(record: dict, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of one record as ``{dotted.name: value}``.
+
+    Nested dicts join with ``.``; lists of dicts flatten by index
+    (``sweep.0.p50_ms``) so sweep-style sub-records stay comparable
+    across runs with the same shape.  Booleans, strings, metadata keys,
+    and lists of scalars are not metrics and are dropped.
+    """
+    flat: dict[str, float] = {}
+    for key, value in record.items():
+        if not prefix and key in META_KEYS:
+            continue
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[name] = float(value)
+        elif isinstance(value, dict):
+            flat.update(flatten(value, prefix=f"{name}."))
+        elif isinstance(value, list):
+            for index, item in enumerate(value):
+                if isinstance(item, dict):
+                    flat.update(flatten(item, prefix=f"{name}.{index}."))
+    return flat
+
+
+def load_trajectory(path: str | Path) -> list[dict]:
+    """Records of one BENCH file, oldest first.
+
+    Accepts both the trajectory (list) schema and a legacy single-dict
+    file, which loads as a one-record trajectory — the gate then simply
+    has no history for it yet.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(payload, dict):
+        return [payload]
+    if isinstance(payload, list):
+        return [record for record in payload if isinstance(record, dict)]
+    raise QueryError(f"{path}: expected a JSON list or object, got {type(payload).__name__}")
+
+
+def _group_key(record: dict) -> tuple[str, str]:
+    return (str(record.get("bench", "")), str(record.get("scale", "")))
+
+
+def _floor_for(name: str, min_latency_ms: float) -> float:
+    leaf = name.rsplit(".", 1)[-1].lower()
+    if leaf.endswith("_ms"):
+        return min_latency_ms
+    if leaf.endswith(("_seconds", "_sec")):
+        return min_latency_ms / 1000.0
+    return 0.0
+
+
+class Regression:
+    """One metric of the newest record outside its tolerance band."""
+
+    __slots__ = ("metric", "direction", "newest", "baseline", "history", "bench", "scale")
+
+    def __init__(self, metric, direction, newest, baseline, history, bench, scale):
+        self.metric = metric
+        self.direction = direction
+        self.newest = newest
+        self.baseline = baseline
+        self.history = history
+        self.bench = bench
+        self.scale = scale
+
+    @property
+    def ratio(self) -> float:
+        """How many times worse than baseline (always >= 1 for a failure)."""
+        if self.direction == "lower":
+            return self.newest / self.baseline if self.baseline else float("inf")
+        return self.baseline / self.newest if self.newest else float("inf")
+
+    def message(self) -> str:
+        verb = "slower" if self.direction == "lower" else "worse"
+        return (
+            f"{self.metric}: {self.newest:g} vs rolling median {self.baseline:g} "
+            f"({self.ratio:.2f}x {verb}, n={self.history})"
+        )
+
+
+class TrajectoryCheck:
+    """Outcome of gating one trajectory's newest record."""
+
+    def __init__(self, name, bench, scale, compared, skipped, history, regressions):
+        self.name = name
+        self.bench = bench
+        self.scale = scale
+        self.compared = compared
+        self.skipped = skipped
+        self.history = history
+        self.regressions = regressions
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        ident = f"{self.name}[{self.bench or '?'}/{self.scale or '?'}]"
+        if self.history == 0:
+            return f"PASS {ident}: no prior records yet (baseline seeded)"
+        status = "PASS" if self.ok else "FAIL"
+        line = (
+            f"{status} {ident}: {self.compared} metric(s) vs median of "
+            f"{self.history} prior run(s)"
+        )
+        if self.skipped:
+            line += f", {self.skipped} below noise floor"
+        return line
+
+
+def check_trajectory(
+    records: list[dict],
+    name: str = "",
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = DEFAULT_WINDOW,
+    min_history: int = DEFAULT_MIN_HISTORY,
+    min_latency_ms: float = DEFAULT_MIN_LATENCY_MS,
+) -> TrajectoryCheck:
+    """Gate the newest record of one trajectory against its history.
+
+    Only prior records from the newest record's own ``(bench, scale)``
+    group are baseline material — a legacy record with no ``bench`` key,
+    or a run at a different scale, never contaminates the median.
+    """
+    if tolerance < 1.0:
+        raise QueryError(f"tolerance must be >= 1.0, got {tolerance:g}")
+    if not records:
+        raise QueryError(f"{name or 'trajectory'}: no records to check")
+    newest = records[-1]
+    key = _group_key(newest)
+    priors = [record for record in records[:-1] if _group_key(record) == key]
+    priors = priors[-window:] if window > 0 else priors
+    bench, scale = key
+    if len(priors) < max(1, min_history):
+        return TrajectoryCheck(name, bench, scale, 0, 0, len(priors), [])
+    newest_flat = flatten(newest)
+    prior_flats = [flatten(record) for record in priors]
+    compared = 0
+    skipped = 0
+    regressions: list[Regression] = []
+    for metric in sorted(newest_flat):
+        direction = metric_direction(metric)
+        if direction is None:
+            continue
+        history = [flat[metric] for flat in prior_flats if metric in flat]
+        if not history:
+            continue
+        baseline = statistics.median(history)
+        value = newest_flat[metric]
+        floor = _floor_for(metric, min_latency_ms)
+        if direction == "lower" and baseline < floor and value < floor * tolerance:
+            skipped += 1
+            continue
+        compared += 1
+        failed = (
+            value > baseline * tolerance
+            if direction == "lower"
+            else value * tolerance < baseline
+        )
+        if failed:
+            regressions.append(
+                Regression(metric, direction, value, baseline, len(history), bench, scale)
+            )
+    return TrajectoryCheck(name, bench, scale, compared, skipped, len(priors), regressions)
+
+
+def check_files(
+    paths: list[Path],
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = DEFAULT_WINDOW,
+    min_history: int = DEFAULT_MIN_HISTORY,
+    min_latency_ms: float = DEFAULT_MIN_LATENCY_MS,
+) -> list[TrajectoryCheck]:
+    """Run the gate over many BENCH files; one check per file."""
+    checks = []
+    for path in paths:
+        records = load_trajectory(path)
+        checks.append(
+            check_trajectory(
+                records,
+                name=Path(path).name,
+                tolerance=tolerance,
+                window=window,
+                min_history=min_history,
+                min_latency_ms=min_latency_ms,
+            )
+        )
+    return checks
+
+
+def discover_bench_files(results_dir: str | Path) -> list[Path]:
+    """Every ``BENCH_*.json`` under ``results_dir``, name-sorted."""
+    return sorted(Path(results_dir).glob("BENCH_*.json"))

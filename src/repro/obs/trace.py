@@ -20,7 +20,18 @@ Sampling is decided at the root: an unsampled trace still carries a
 trace id (so every response can return ``X-Repro-Trace-Id``) but its
 spans are dropped at entry, making ``span()`` in deep layers nearly
 free.  Sampled traces are serialized by :class:`JsonLinesExporter` as
-one JSON object per line.
+one JSON object per line, with size-based rotation (the current file
+plus one ``.1`` predecessor) so a long-running server cannot fill the
+disk with trace exports.
+
+Besides the contextvar (which only the *owning* context can read), the
+tracer maintains a process-wide **active-span map** — ``{thread id:
+(trace, innermost open span)}`` — updated on every sampled span entry
+and exit.  That map is the join surface for the sampling profiler
+(:mod:`repro.obs.profile`): a sampler walking
+``sys._current_frames()`` from its own thread looks up each sampled
+thread's current phase with :func:`active_phases` and attributes the
+stack to it.
 """
 
 from __future__ import annotations
@@ -39,6 +50,48 @@ from typing import Iterator
 _CURRENT: contextvars.ContextVar[tuple["Trace", int] | None] = contextvars.ContextVar(
     "repro_obs_trace", default=None
 )
+
+#: {thread id: (trace, innermost open span)} for *sampled* traces — the
+#: profiler's join surface.  Guarded by its own lock: entries are written
+#: by the thread they describe (span enter/exit) and read wholesale by a
+#: profiler thread mid-sample.
+_ACTIVE_LOCK = threading.Lock()
+_ACTIVE: dict[int, tuple["Trace", "Span"]] = {}
+
+
+def _activate(trace: "Trace", span: "Span") -> tuple["Trace", "Span"] | None:
+    """Mark ``span`` as this thread's innermost; returns the previous entry."""
+    ident = threading.get_ident()
+    with _ACTIVE_LOCK:
+        previous = _ACTIVE.get(ident)
+        _ACTIVE[ident] = (trace, span)
+    return previous
+
+
+def _deactivate(previous: tuple["Trace", "Span"] | None) -> None:
+    """Restore the thread's previous innermost span (or clear it)."""
+    ident = threading.get_ident()
+    with _ACTIVE_LOCK:
+        if previous is None:
+            _ACTIVE.pop(ident, None)
+        else:
+            _ACTIVE[ident] = previous
+
+
+def active_phases() -> dict[int, tuple[str, str]]:
+    """``{thread id: (trace id, innermost span name)}`` right now.
+
+    The snapshot a sampling profiler joins its ``sys._current_frames()``
+    walk against: a thread inside ``span("cube-build")`` maps to
+    ``(trace_id, "cube-build")``; a thread that only opened the root
+    trace maps to the request name.  Threads with no sampled trace are
+    absent (the profiler buckets them as untraced).
+    """
+    with _ACTIVE_LOCK:
+        return {
+            ident: (trace.trace_id, span.name)
+            for ident, (trace, span) in _ACTIVE.items()
+        }
 
 
 class Span:
@@ -129,10 +182,13 @@ def start_trace(name: str, sampled: bool = True) -> Iterator[Trace]:
     """Open a root trace for the enclosed request."""
     trace = Trace(name, sampled=sampled)
     token = _CURRENT.set((trace, 0))
+    previous = _activate(trace, trace.root) if sampled else None
     try:
         yield trace
     finally:
         trace.finish()
+        if sampled:
+            _deactivate(previous)
         _CURRENT.reset(token)
 
 
@@ -150,10 +206,12 @@ def span(name: str) -> Iterator[Span | None]:
     trace, parent_id = current
     entry = trace.begin_span(name, parent_id)
     token = _CURRENT.set((trace, entry.span_id))
+    previous = _activate(trace, entry)
     try:
         yield entry
     finally:
         trace.end_span(entry)
+        _deactivate(previous)
         _CURRENT.reset(token)
 
 
@@ -176,25 +234,66 @@ def current_trace_id() -> str | None:
     return trace.trace_id if trace is not None else None
 
 
-class JsonLinesExporter:
-    """Append sampled traces to a JSON-lines file (one object per line)."""
+#: Default rotation threshold for JSON-lines observability files (trace
+#: exports, slow-query profiles).  At most ``2 * max_bytes`` survives on
+#: disk per file: the current file plus its one ``.1`` predecessor.
+DEFAULT_EXPORT_MAX_BYTES = 8 * 1024 * 1024
 
-    def __init__(self, path: str | Path):
+
+def rotated_path(path: Path) -> Path:
+    """Where a rotated-out JSON-lines file lands (``<name>.1``)."""
+    return path.with_name(path.name + ".1")
+
+
+def append_jsonl_rotating(path: Path, line: str, max_bytes: int) -> None:
+    """Append one line to ``path``, rotating to ``<name>.1`` at the cap.
+
+    Rotation happens *before* a write that would push the file past
+    ``max_bytes``: the current file replaces the previous ``.1`` (which
+    is dropped) and the line starts a fresh file — disk usage per export
+    stream is bounded at roughly twice the cap, forever.  Callers
+    serialize writes with their own lock.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if max_bytes > 0:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        if size and size + len(line) + 1 > max_bytes:
+            os.replace(path, rotated_path(path))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+class JsonLinesExporter:
+    """Append sampled traces to a JSON-lines file (one object per line).
+
+    The file rotates at ``max_bytes``: the current export plus one
+    ``.1`` predecessor are kept, older traces are dropped — a
+    long-running server's trace export is disk-bounded by construction.
+    """
+
+    def __init__(self, path: str | Path, max_bytes: int = DEFAULT_EXPORT_MAX_BYTES):
         self._path = Path(path).expanduser()
+        self._max_bytes = int(max_bytes)
         self._lock = threading.Lock()
 
     @property
     def path(self) -> Path:
         return self._path
 
+    @property
+    def rotated(self) -> Path:
+        """Where rotated-out traces land (may not exist yet)."""
+        return rotated_path(self._path)
+
     def export(self, trace: Trace) -> bool:
         if not trace.sampled:
             return False
         line = json.dumps(trace.to_dict(), separators=(",", ":"))
         with self._lock:
-            self._path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self._path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+            append_jsonl_rotating(self._path, line, self._max_bytes)
         return True
 
     @staticmethod

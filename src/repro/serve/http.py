@@ -26,6 +26,12 @@ writes JSON.  Endpoints:
     Prometheus text exposition.  On a multi-process pool every worker
     merges the other workers' persisted snapshots into its own live
     registry, so one scrape sees the whole pool.
+``GET /debug/profile?seconds=S&hz=H``
+    Sample this worker's threads for ``S`` seconds (default 2, max 30)
+    and return collapsed stacks as plain text — ``phase;frame;…;frame
+    count`` lines, flamegraph.pl-compatible, with each sample attributed
+    to its trace phase via the tracer's active-span map
+    (:mod:`repro.obs.profile`).
 
 Every response carries an ``X-Repro-Trace-Id`` header; sampled requests
 export their phase-span tree as JSON lines (:mod:`repro.obs.trace`).
@@ -57,6 +63,12 @@ from repro.obs.metrics import (
     merge_snapshots,
     render_snapshot,
     SnapshotStore,
+)
+from repro.obs.profile import (
+    DEFAULT_HZ as PROFILE_DEFAULT_HZ,
+    SamplingProfiler,
+    SlowProfileWriter,
+    capture as capture_profile,
 )
 from repro.obs.trace import JsonLinesExporter, start_trace
 from repro.serve.jsonio import (
@@ -125,8 +137,13 @@ _KNOWN_ENDPOINTS = frozenset(
         "/healthz",
         "/health",
         "/metrics",
+        "/debug/profile",
     )
 )
+
+#: Longest profile window ``/debug/profile`` will run: the capture holds
+#: a handler thread (and an admission slot) for its whole duration.
+MAX_PROFILE_SECONDS = 30.0
 
 
 def _coerce(name: str, raw: str, kind: type):
@@ -191,6 +208,13 @@ class _Handler(BaseHTTPRequestHandler):
                         except Exception as error:  # pragma: no cover
                             body = f"# metrics unavailable: {error}\n"
                             status = 500
+                        app.note_request()
+                        self._write_text(body, status, trace_id=trace.trace_id)
+                    elif parsed.path == "/debug/profile":
+                        try:
+                            body, status = app.render_profile(params), 200
+                        except ReproError as error:
+                            body, status = f"error: {error}\n", 400
                         app.note_request()
                         self._write_text(body, status, trace_id=trace.trace_id)
                     else:
@@ -356,6 +380,21 @@ class ServeApp:
         How often the background flusher persists this worker's metrics
         snapshot to ``obs_dir`` (a scrape also writes one, so the
         interval only bounds staleness seen *via other workers*).
+    profile_hz:
+        Continuous-profiling rate; ``None`` (default) disables it.  When
+        set, a background :class:`~repro.obs.profile.SamplingProfiler`
+        runs for the server's whole lifetime feeding per-phase self-time
+        into ``repro_profile_phase_self_seconds_total{phase}`` — a
+        ``/metrics`` scrape then answers "which phase burns the time"
+        with no capture round-trip.
+    profile_slow:
+        Auto-capture a short profile whenever a request crosses the
+        slow-query threshold; entries append (with rotation) to
+        ``slowprof-<worker>.jsonl`` next to the slow-query log, keyed by
+        the slow request's trace id.  Requires ``slow_query_ms`` and an
+        ``obs_dir``.
+    profile_slow_seconds:
+        Length of each auto-captured slow profile window.
     """
 
     def __init__(
@@ -374,6 +413,9 @@ class ServeApp:
         obs_dir: str | Path | None = None,
         worker_id: str | None = None,
         snapshot_interval_seconds: float = 2.0,
+        profile_hz: float | None = None,
+        profile_slow: bool = False,
+        profile_slow_seconds: float = 2.0,
     ):
         self.registry = registry
         self.scheduler = scheduler or QueryScheduler(registry)
@@ -418,6 +460,17 @@ class ServeApp:
             if self._obs_dir is not None
             else None
         )
+        # Slow-query auto-profiling: only meaningful when there is a slow
+        # log to key against and a directory to write beside it.
+        if profile_slow and self._slow_log is not None and self._obs_dir is not None:
+            self._slow_profiles = SlowProfileWriter(
+                self._obs_dir / f"slowprof-{self.worker_id}.jsonl",
+                seconds=profile_slow_seconds,
+            )
+        else:
+            self._slow_profiles = None
+        self._profile_hz = profile_hz
+        self._profiler: SamplingProfiler | None = None
         metrics = get_metrics()
         self._metric_requests = metrics.counter(
             "repro_http_requests_total",
@@ -435,6 +488,11 @@ class ServeApp:
         self._metric_rejected = metrics.counter(
             "repro_http_requests_rejected_total",
             "Requests shed with 503 by admission control",
+        )
+        self._metric_phase_seconds = metrics.counter(
+            "repro_profile_phase_self_seconds_total",
+            "Sampled wall-clock self time by trace phase (continuous profiler)",
+            labels=("phase",),
         )
         # --------------------------------------------------------------
         server_class = _ReuseportHTTPServer if reuse_port else ThreadingHTTPServer
@@ -467,11 +525,13 @@ class ServeApp:
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown` (CLI mode)."""
         self._start_flusher()
+        self._start_profiler()
         self._server.serve_forever()
 
     def start(self) -> "ServeApp":
         """Serve on a daemon thread (tests, benchmarks); returns self."""
         self._start_flusher()
+        self._start_profiler()
         self._thread = threading.Thread(
             target=self._server.serve_forever, name="repro-serve", daemon=True
         )
@@ -501,6 +561,7 @@ class ServeApp:
             self.drain(grace)
             self._server.server_close()
             self.scheduler.shutdown(wait=False)
+            self._stop_profiler()
             self._stop_flusher()
             if self._thread is not None:
                 # Leave _thread set: observers may still poll it for
@@ -609,9 +670,13 @@ class ServeApp:
                 method, path, status, latency_ms, dataset=dataset, trace_id=trace_id
             )
         if self._slow_log is not None:
-            self._slow_log.observe(
+            was_slow = self._slow_log.observe(
                 path, latency_ms, dataset=dataset, trace_id=trace_id, status=status
             )
+            if was_slow and self._slow_profiles is not None:
+                # Capture runs on its own daemon thread; at most one at a
+                # time, so a herd of slow queries yields one profile.
+                self._slow_profiles.maybe_capture(trace_id, path, latency_ms)
         if self._trace_exporter is not None and trace is not None:
             try:
                 self._trace_exporter.export(trace)
@@ -641,6 +706,52 @@ class ServeApp:
             if other.get("worker") != self.worker_id
         ]
         return render_snapshot(merge_snapshots([snapshot, *others]))
+
+    def render_profile(self, params: dict[str, str]) -> str:
+        """Run one ``/debug/profile`` capture and return collapsed stacks.
+
+        Blocks the calling handler thread for the window (that thread is
+        excluded from its own capture, so the wait doesn't show up as a
+        fake hotspot); other requests keep being served meanwhile and
+        are exactly what the capture observes.
+        """
+        unknown = set(params) - {"seconds", "hz"}
+        if unknown:
+            raise QueryError(
+                f"unsupported parameter(s) {sorted(unknown)} for /debug/profile"
+            )
+        seconds = _coerce("seconds", params.get("seconds", "2"), float)
+        hz = _coerce("hz", params.get("hz", str(PROFILE_DEFAULT_HZ)), float)
+        if not 0.0 < seconds <= MAX_PROFILE_SECONDS:
+            raise QueryError(
+                f"seconds must be in (0, {MAX_PROFILE_SECONDS:g}], got {seconds:g}"
+            )
+        report = capture_profile(
+            seconds, hz=hz, exclude_threads=(threading.get_ident(),)
+        )
+        collapsed = report.collapsed()
+        return collapsed if collapsed else "# no samples\n"
+
+    def _start_profiler(self) -> None:
+        """Start the continuous low-rate profiler when configured."""
+        if self._profile_hz is None or self._profiler is not None:
+            return
+        self._profiler = SamplingProfiler(
+            hz=self._profile_hz, phase_counter=self._metric_phase_seconds
+        )
+        self._profiler.start()
+
+    def _stop_profiler(self) -> None:
+        if self._profiler is not None:
+            self._profiler.stop()
+
+    @property
+    def continuous_profiler(self) -> SamplingProfiler | None:
+        return self._profiler
+
+    @property
+    def slow_profile_path(self) -> Path | None:
+        return self._slow_profiles.path if self._slow_profiles is not None else None
 
     @property
     def trace_export_path(self) -> Path | None:
@@ -776,6 +887,9 @@ def make_app(
     trace_sample: float = 1.0,
     obs_dir: str | None = None,
     worker_id: str | None = None,
+    profile_hz: float | None = None,
+    profile_slow: bool = False,
+    profile_slow_seconds: float = 2.0,
 ) -> ServeApp:
     """Assemble a ready-to-start :class:`ServeApp` from flat options.
 
@@ -799,6 +913,9 @@ def make_app(
     ``obs_dir`` defaults to ``<cache_dir>/obs`` when a cache dir is
     given so multi-process workers merge their metrics snapshots, trace
     exports and slow-query logs under one shared directory.
+    ``profile_hz`` turns on the continuous phase-attributed profiler and
+    ``profile_slow`` auto-captures a profile for each slow query
+    (:mod:`repro.obs.profile`).
     """
     builder = None
     if build_shards is not None and build_shards > 1:
@@ -835,4 +952,7 @@ def make_app(
         trace_sample=trace_sample,
         obs_dir=obs_dir,
         worker_id=worker_id,
+        profile_hz=profile_hz,
+        profile_slow=profile_slow,
+        profile_slow_seconds=profile_slow_seconds,
     )

@@ -26,7 +26,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from repro.core.result import ExplainResult
 from repro.exceptions import QueryError
 from repro.obs.metrics import get_registry as get_metrics
-from repro.obs.trace import record_span
+from repro.obs.trace import record_span, span
 from repro.serve.registry import SessionRegistry
 
 #: Run-tier ExplainConfig fields a query may override per request, with
@@ -237,6 +237,15 @@ class QueryScheduler:
         # The wait elapsed before this thread started, so it cannot be a
         # live span; attach it to the request trace retroactively.
         record_span("queue-wait", wait)
+        # One open span for the whole pool-thread execution: deeper
+        # layers open their own phases inside it, but between them this
+        # keeps the thread attributable (the sampling profiler joins
+        # samples to the innermost open span, and without this umbrella
+        # a pool thread between phases would sample as untraced).
+        with span(f"query:{kind}"):
+            return self._run_query(kind, dataset, params)
+
+    def _run_query(self, kind: str, dataset: str, params: dict):
         if kind == "detect":
             detector = self._registry.detect_session(dataset)
             wants_plan = bool(params.pop("plan", False))
